@@ -1,0 +1,85 @@
+// Package asyncfd is the public facade of the repository: a time-free
+// (asynchronous) implementation of unreliable failure detectors after the
+// DSN 2003 paper "Asynchronous Implementation of Failure Detectors"
+// (Mostéfaoui, Mourgaya, Raynal), together with the substrates needed to
+// run, evaluate and apply it.
+//
+// The detector never uses clocks or timeouts. Each process repeatedly
+// broadcasts a QUERY and waits for responses from n−f processes; processes
+// whose responses are not among them become suspected, and suspicions are
+// flooded — with logical counters for recency, refutable by their subjects —
+// inside subsequent queries. Under the paper's message-pattern assumption
+// the output is a failure detector of class ◇S, which (with a correct
+// majority) suffices to solve consensus.
+//
+// Layout of the underlying packages (importable inside this module):
+//
+//   - internal/core       — the protocol state machine and round runtime
+//   - internal/heartbeat, internal/phiaccrual, internal/chen — timer-based baselines
+//   - internal/des, internal/netsim — deterministic simulation
+//   - internal/livenet, internal/tcpnet — real-time runtimes
+//   - internal/consensus, internal/leader — applications (◇S consensus, Ω)
+//   - internal/unknown, internal/topology — partial-connectivity extension
+//   - internal/exp        — the experiment harness (tables E1–E8, A1–A2, X1–X2)
+//
+// The facade re-exports the types needed to embed the detector in an
+// application; see examples/ for runnable programs.
+package asyncfd
+
+import (
+	"asyncfd/internal/core"
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/livenet"
+	"asyncfd/internal/node"
+)
+
+// Core protocol types.
+type (
+	// ID identifies a process (p0, p1, ...).
+	ID = ident.ID
+	// Set is a set of process identities.
+	Set = ident.Set
+	// Config parameterizes the detector state machine (n, f, membership
+	// mode).
+	Config = core.Config
+	// NodeConfig parameterizes the runtime driving the detector (round
+	// window, interval, suspicion sink).
+	NodeConfig = core.NodeConfig
+	// Node is the runnable detector bound to an environment.
+	Node = core.Node
+	// Env is the runtime environment a node executes in (identity, timers,
+	// asynchronous network).
+	Env = node.Env
+	// Handler consumes messages delivered to a process.
+	Handler = node.Handler
+	// Detector is the oracle interface applications read (Suspects()).
+	Detector = fd.Detector
+	// SuspicionSink receives timestamped suspicion transitions.
+	SuspicionSink = fd.SuspicionSink
+	// LiveConfig parameterizes the in-process real-time network.
+	LiveConfig = livenet.Config
+	// LiveNetwork is the in-process real-time network used by the
+	// quickstart examples.
+	LiveNetwork = livenet.Network
+)
+
+// Membership modes.
+const (
+	// KnownMembership: the paper's model — all n identities known, fully
+	// connected, quorum n−f.
+	KnownMembership = core.KnownMembership
+	// UnknownMembership: the extension — membership learned from queries,
+	// quorum d−f.
+	UnknownMembership = core.UnknownMembership
+)
+
+// NewNode builds a detector node on the given environment. This is the main
+// entry point for embedding the detector: provide an Env (for example one
+// obtained from NewLiveNetwork().AddNode, or your own transport
+// implementing Env) and a NodeConfig, then call Start.
+func NewNode(env Env, cfg NodeConfig) (*Node, error) { return core.NewNode(env, cfg) }
+
+// NewLiveNetwork builds an in-process real-time network (goroutines and
+// channels) for running detector nodes without a simulator.
+func NewLiveNetwork(cfg LiveConfig) *LiveNetwork { return livenet.New(cfg) }

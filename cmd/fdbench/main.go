@@ -1,0 +1,71 @@
+// Command fdbench regenerates every table and figure of the reconstructed
+// evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	fdbench [-exp all|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|X1|X2] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncfd/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
+	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, X1, X2) or 'all'")
+	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
+	seed := fs.Int64("seed", 1, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := exp.Options{Seed: *seed, Quick: *quickFlag}
+
+	experiments := map[string]func(exp.Options) (*exp.Table, error){
+		"E1": exp.E1DetectionVsN,
+		"E2": exp.E2DetectionVsF,
+		"E3": exp.E3Disturbance,
+		"E4": exp.E4QoS,
+		"E5": exp.E5MessageCost,
+		"E6": exp.E6MPSensitivity,
+		"E7": exp.E7Consensus,
+		"E8": exp.E8Propagation,
+		"A1": exp.A1TagsAblation,
+		"A2": exp.A2WindowAblation,
+		"X1": exp.X1DensityExt,
+		"X2": exp.X2MobilityExt,
+	}
+
+	if strings.EqualFold(*expID, "all") {
+		tables, err := exp.All(opts)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fn, ok := experiments[strings.ToUpper(*expID)]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *expID)
+	}
+	t, err := fn(opts)
+	if err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}

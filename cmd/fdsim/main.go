@@ -1,0 +1,94 @@
+// Command fdsim runs a single simulated failure-detector scenario and prints
+// the suspicion timeline plus QoS summary.
+//
+// Usage:
+//
+//	fdsim [-kind async|heartbeat|phi-accrual|chen-nfde] [-n 8] [-f 2]
+//	      [-crash 4] [-crash-at 10s] [-dur 30s] [-seed 1] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asyncfd/internal/exp"
+	"asyncfd/internal/faults"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/qos"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fdsim", flag.ContinueOnError)
+	kindName := fs.String("kind", "async", "detector: async, heartbeat, phi-accrual, chen-nfde")
+	n := fs.Int("n", 8, "number of processes")
+	f := fs.Int("f", 2, "crash bound f")
+	crash := fs.Int("crash", -1, "process to crash (-1 = none)")
+	crashAt := fs.Duration("crash-at", 10*time.Second, "crash time")
+	dur := fs.Duration("dur", 30*time.Second, "virtual run duration")
+	seed := fs.Int64("seed", 1, "random seed")
+	showTrace := fs.Bool("trace", true, "print the suspicion event timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var kind exp.Kind
+	for _, k := range exp.AllKinds() {
+		if k.String() == *kindName {
+			kind = k
+		}
+	}
+	if kind == 0 {
+		return fmt.Errorf("unknown detector kind %q", *kindName)
+	}
+
+	c, err := exp.NewCluster(exp.ClusterConfig{
+		Kind: kind, N: *n, F: *f, Seed: *seed,
+		Delay: netsim.Exponential{Min: 500 * time.Microsecond, Mean: 700 * time.Microsecond, Cap: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	truth := &qos.GroundTruth{}
+	if *crash >= 0 {
+		truth = c.Apply(faults.Plan{}.CrashAt(ident.ID(*crash), *crashAt))
+	}
+	c.RunUntil(*dur)
+
+	fmt.Printf("detector=%v n=%d f=%d seed=%d horizon=%v\n\n", kind, *n, *f, *seed, *dur)
+	if *showTrace {
+		fmt.Print("suspicion timeline:\n")
+		events := c.Log.Events()
+		if len(events) == 0 {
+			fmt.Println("  (no suspicion events)")
+		}
+		for _, e := range events {
+			fmt.Printf("  %v\n", e)
+		}
+		fmt.Println()
+	}
+	if *crash >= 0 {
+		observers := c.Members.Clone()
+		observers.Remove(ident.ID(*crash))
+		det := qos.DetectionTimes(c.Log, truth, ident.ID(*crash), observers)
+		fmt.Printf("detection of p%d: avg=%v min=%v max=%v detected-by=%d missing=%d\n",
+			*crash, det.Avg, det.Min, det.Max, det.Count, det.Missing)
+	}
+	mist := qos.Mistakes(c.Log, truth, c.Members, *dur)
+	pa := qos.QueryAccuracy(c.Log, truth, c.Members, *dur)
+	fmt.Printf("mistakes: closed=%d unresolved=%d avg-duration=%v rate=%.5f/pair/s\n",
+		mist.Count, mist.Unresolved, mist.AvgDuration, mist.Rate)
+	fmt.Printf("query accuracy PA=%.4f\n", pa)
+	st := c.Net.Stats()
+	fmt.Printf("traffic: sent=%d delivered=%d dropped=%d\n", st.Sent, st.Delivered, st.Dropped)
+	return nil
+}

@@ -1,0 +1,94 @@
+// Consensus: the point of a ◇S failure detector is that it makes consensus
+// solvable in an asynchronous system with a correct majority. This example
+// runs Chandra–Toueg rotating-coordinator consensus on top of the time-free
+// detector while the first coordinator is crashed — the detector's
+// suspicions are what lets the protocol rotate past the dead coordinator.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"asyncfd/internal/consensus"
+	"asyncfd/internal/core"
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+)
+
+type duo struct {
+	fdNode *core.Node
+	cons   *consensus.Node
+}
+
+type demux struct{ d *duo }
+
+func (x demux) Deliver(from ident.ID, payload any) {
+	switch payload.(type) {
+	case consensus.EstimateMsg, consensus.ProposalMsg, consensus.AckMsg, consensus.DecideMsg:
+		x.d.cons.Deliver(from, payload)
+	default:
+		x.d.fdNode.Deliver(from, payload)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n, f = 5, 2
+	sim := des.New(7)
+	net := netsim.New(sim, netsim.Config{
+		Delay: netsim.Uniform{Min: time.Millisecond, Max: 4 * time.Millisecond},
+	})
+
+	duos := make([]duo, n)
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		env := net.AddNode(id, demux{&duos[i]})
+		fdNode, err := core.NewNode(env, core.NodeConfig{
+			Detector: core.Config{Self: id, N: n, F: f},
+			Window:   10 * time.Millisecond,
+			Interval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		cons, err := consensus.NewNode(env, consensus.Config{
+			Self: id, N: n, F: f, Detector: fdNode,
+			OnDecide: func(v consensus.Value) {
+				fmt.Printf("  %v decides %d at t=%v\n", id, v, sim.Now().Round(time.Millisecond))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		duos[i] = duo{fdNode: fdNode, cons: cons}
+	}
+	for i := range duos {
+		duos[i].fdNode.Start()
+	}
+
+	fmt.Println("p0 (round-1 coordinator) crashes at t=500ms; survivors propose at t=2s")
+	sim.At(500*time.Millisecond, func() { net.Crash(0) })
+	for i := 1; i < n; i++ {
+		v := consensus.Value(10 * i)
+		cons := duos[i].cons
+		fmt.Printf("  p%d will propose %d\n", i, v)
+		sim.At(2*time.Second, func() { cons.Propose(v) })
+	}
+	fmt.Println("decisions:")
+	sim.RunUntil(time.Minute)
+
+	for i := 1; i < n; i++ {
+		if _, ok := duos[i].cons.Decided(); !ok {
+			return fmt.Errorf("p%d did not decide", i)
+		}
+	}
+	return nil
+}

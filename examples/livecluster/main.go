@@ -1,0 +1,96 @@
+// Livecluster: the detector over real TCP sockets on localhost. Three
+// processes exchange queries and responses through length-prefixed frames;
+// one endpoint is torn down and the survivors suspect it. The same core
+// protocol node runs here as in the simulator — only the Env differs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"asyncfd/internal/core"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/tcpnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "livecluster:", err)
+		os.Exit(1)
+	}
+}
+
+type cell struct{ n *core.Node }
+
+func (c *cell) Deliver(from ident.ID, payload any) {
+	if c.n != nil {
+		c.n.Deliver(from, payload)
+	}
+}
+
+func run() error {
+	const n, f = 3, 1
+	transports := make([]*tcpnet.Transport, n)
+	nodes := make([]*core.Node, n)
+
+	for i := 0; i < n; i++ {
+		c := &cell{}
+		tr, err := tcpnet.New(tcpnet.Config{
+			Self:       ident.ID(i),
+			ListenAddr: "127.0.0.1:0",
+			Handler:    c,
+		})
+		if err != nil {
+			return err
+		}
+		transports[i] = tr
+		nd, err := core.NewNode(tr, core.NodeConfig{
+			Detector: core.Config{Self: ident.ID(i), N: n, F: f},
+			Window:   20 * time.Millisecond,
+			Interval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		c.n = nd
+		nodes[i] = nd
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		fmt.Printf("p%d listening on %s\n", i, transports[i].Addr())
+		for j := 0; j < n; j++ {
+			if i != j {
+				transports[i].AddPeer(ident.ID(j), transports[j].Addr())
+			}
+		}
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	fmt.Printf("\nsteady state: p0 suspects %v, p1 suspects %v\n",
+		nodes[0].Suspects(), nodes[1].Suspects())
+
+	fmt.Println("tearing down p2's endpoint...")
+	nodes[2].Stop()
+	transports[2].Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[0].IsSuspected(2) && nodes[1].IsSuspected(2) {
+			fmt.Printf("\np0 suspects %v, p1 suspects %v — crash detected over real sockets\n",
+				nodes[0].Suspects(), nodes[1].Suspects())
+			nodes[0].Stop()
+			nodes[1].Stop()
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("survivors did not suspect the dead endpoint")
+}

@@ -1,0 +1,84 @@
+// Quickstart: run the time-free failure detector on a live in-process
+// cluster (goroutines + channels, real time), crash one process, and watch
+// the survivors suspect it — no clocks, no timeouts involved in the
+// detection logic itself.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"asyncfd"
+)
+
+func main() {
+	const (
+		n = 4 // processes
+		f = 1 // crash bound
+	)
+	net := asyncfd.NewLiveNetwork(asyncfd.LiveConfig{
+		MinDelay: 200 * time.Microsecond,
+		MaxDelay: 2 * time.Millisecond,
+	})
+	defer net.Close()
+
+	// Suspicion transitions are reported through a sink.
+	sink := sinkFunc(func(at time.Duration, observer, subject asyncfd.ID, suspected bool) {
+		verb := "suspects"
+		if !suspected {
+			verb = "trusts again"
+		}
+		fmt.Printf("[%8v] %v %s %v\n", at.Round(time.Millisecond), observer, verb, subject)
+	})
+
+	nodes := make([]*asyncfd.Node, n)
+	for i := 0; i < n; i++ {
+		id := asyncfd.ID(i)
+		cell := &handlerCell{}
+		env := net.AddNode(id, cell)
+		node, err := asyncfd.NewNode(env, asyncfd.NodeConfig{
+			Detector: asyncfd.Config{Self: id, Membership: asyncfd.KnownMembership, N: n, F: f},
+			Window:   10 * time.Millisecond, // extra response collection per round
+			Interval: 25 * time.Millisecond, // pause between query rounds
+			Sink:     sink,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cell.node = node
+		nodes[i] = node
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	fmt.Println("cluster running; all processes answering queries...")
+	time.Sleep(300 * time.Millisecond)
+
+	fmt.Println("crashing p3...")
+	net.Crash(3)
+	time.Sleep(500 * time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		fmt.Printf("%v final suspects: %v\n", asyncfd.ID(i), nodes[i].Suspects())
+	}
+	for _, nd := range nodes {
+		nd.Stop()
+	}
+}
+
+// handlerCell breaks the env↔node construction cycle.
+type handlerCell struct{ node *asyncfd.Node }
+
+func (c *handlerCell) Deliver(from asyncfd.ID, payload any) {
+	if c.node != nil {
+		c.node.Deliver(from, payload)
+	}
+}
+
+// sinkFunc adapts a function to asyncfd.SuspicionSink.
+type sinkFunc func(at time.Duration, observer, subject asyncfd.ID, suspected bool)
+
+func (f sinkFunc) OnSuspicion(at time.Duration, observer, subject asyncfd.ID, suspected bool) {
+	f(at, observer, subject, suspected)
+}

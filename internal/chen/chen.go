@@ -1,0 +1,238 @@
+// Package chen implements the NFD-E failure detector of Chen, Toueg and
+// Aguilera ("On the quality of service of failure detectors"): heartbeats
+// are sent every Δ; the monitor estimates the expected arrival time EA of
+// the next heartbeat from a window of past arrivals and suspects the sender
+// when the clock passes EA + α. It is the classic adaptive *expected-arrival*
+// detector, complementing the φ-accrual comparator.
+package chen
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// Message is a sequence-numbered heartbeat.
+type Message struct {
+	From ident.ID
+	Seq  uint64
+}
+
+// Config parameterizes an NFD-E detector.
+type Config struct {
+	// Self is this process's identity.
+	Self ident.ID
+	// Peers are the monitored processes (Self is ignored if present).
+	Peers ident.Set
+	// Interval is the heartbeat period Δ.
+	Interval time.Duration
+	// Alpha is the safety margin added to the expected arrival time.
+	Alpha time.Duration
+	// WindowSize bounds the arrival sample window (default 100).
+	WindowSize int
+	// Sink, if set, receives timestamped suspicion transitions.
+	Sink fd.SuspicionSink
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !c.Self.Valid() {
+		return errors.New("chen: config: Self must be valid")
+	}
+	if c.Interval <= 0 {
+		return errors.New("chen: config: Interval must be positive")
+	}
+	if c.Alpha <= 0 {
+		return errors.New("chen: config: Alpha must be positive")
+	}
+	if c.WindowSize < 0 {
+		return errors.New("chen: config: negative WindowSize")
+	}
+	return nil
+}
+
+// sample is one heartbeat observation.
+type sample struct {
+	seq     uint64
+	arrival time.Duration
+}
+
+// peerState tracks one monitored process.
+type peerState struct {
+	samples   []sample // ring, bounded by WindowSize
+	next      int
+	maxSeq    uint64
+	suspected bool
+	timer     node.Timer
+}
+
+// Node is an NFD-E detector node. Safe for concurrent use.
+type Node struct {
+	mu      sync.Mutex
+	env     node.Env
+	cfg     Config
+	peers   map[ident.ID]*peerState
+	seq     uint64
+	stopped bool
+	beat    node.Timer
+}
+
+var _ node.Handler = (*Node)(nil)
+var _ fd.Detector = (*Node)(nil)
+
+// NewNode builds an NFD-E detector on env.
+func NewNode(env node.Env, cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WindowSize == 0 {
+		cfg.WindowSize = 100
+	}
+	n := &Node{env: env, cfg: cfg, peers: make(map[ident.ID]*peerState)}
+	cfg.Peers.ForEach(func(p ident.ID) bool {
+		if p != cfg.Self {
+			n.peers[p] = &peerState{}
+		}
+		return true
+	})
+	return n, nil
+}
+
+// Start begins heartbeating and arms the initial expectation for every peer
+// as if heartbeat 0 had just arrived.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.env.Now()
+	for p, st := range n.peers {
+		st.push(sample{seq: 0, arrival: now}, n.cfg.WindowSize)
+		n.armLocked(p, st)
+	}
+	n.tickLocked()
+}
+
+// Stop halts heartbeating and monitoring.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.beat != nil {
+		n.beat.Stop()
+	}
+	for _, st := range n.peers {
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+	}
+}
+
+func (st *peerState) push(s sample, capacity int) {
+	if len(st.samples) < capacity {
+		st.samples = append(st.samples, s)
+	} else {
+		st.samples[st.next] = s
+		st.next = (st.next + 1) % capacity
+	}
+	if s.seq > st.maxSeq {
+		st.maxSeq = s.seq
+	}
+}
+
+// expectedArrival estimates EA for heartbeat maxSeq+1: the average of
+// (A_i − Δ·seq_i) over the window, plus Δ·(maxSeq+1).
+func (st *peerState) expectedArrival(interval time.Duration) time.Duration {
+	if len(st.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range st.samples {
+		sum += s.arrival - time.Duration(s.seq)*interval
+	}
+	base := sum / time.Duration(len(st.samples))
+	return base + time.Duration(st.maxSeq+1)*interval
+}
+
+func (n *Node) tickLocked() {
+	if n.stopped {
+		return
+	}
+	n.seq++
+	n.env.Broadcast(Message{From: n.env.Self(), Seq: n.seq})
+	n.beat = n.env.After(n.cfg.Interval, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.tickLocked()
+	})
+}
+
+// armLocked schedules the suspicion deadline EA + α for peer p.
+func (n *Node) armLocked(p ident.ID, st *peerState) {
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	deadline := st.expectedArrival(n.cfg.Interval) + n.cfg.Alpha
+	wait := deadline - n.env.Now()
+	st.timer = n.env.After(wait, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped || st.suspected {
+			return
+		}
+		st.suspected = true
+		n.emitLocked(p, true)
+	})
+}
+
+// Deliver implements node.Handler.
+func (n *Node) Deliver(from ident.ID, payload any) {
+	m, ok := payload.(Message)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.peers[from]
+	if !ok || n.stopped {
+		return
+	}
+	if m.Seq <= st.maxSeq {
+		return // stale or reordered heartbeat; the freshest already counted
+	}
+	st.push(sample{seq: m.Seq, arrival: n.env.Now()}, n.cfg.WindowSize)
+	if st.suspected {
+		st.suspected = false
+		n.emitLocked(from, false)
+	}
+	n.armLocked(from, st)
+}
+
+func (n *Node) emitLocked(subject ident.ID, suspected bool) {
+	if n.cfg.Sink != nil {
+		n.cfg.Sink.OnSuspicion(n.env.Now(), n.env.Self(), subject, suspected)
+	}
+}
+
+// Suspects implements fd.Detector.
+func (n *Node) Suspects() ident.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out ident.Set
+	for p, st := range n.peers {
+		if st.suspected {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// IsSuspected implements fd.Detector.
+func (n *Node) IsSuspected(id ident.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.peers[id]
+	return ok && st.suspected
+}

@@ -1,0 +1,205 @@
+package chen
+
+import (
+	"testing"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Self: 0, Interval: time.Second, Alpha: 100 * time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Self: ident.Nil, Interval: time.Second, Alpha: time.Second},
+		{Self: 0, Interval: 0, Alpha: time.Second},
+		{Self: 0, Interval: time.Second, Alpha: 0},
+		{Self: 0, Interval: time.Second, Alpha: time.Second, WindowSize: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestExpectedArrival(t *testing.T) {
+	st := &peerState{}
+	interval := time.Second
+	// Heartbeats 1,2,3 arrived exactly on schedule with 10ms transit.
+	for seq := uint64(1); seq <= 3; seq++ {
+		st.push(sample{seq: seq, arrival: time.Duration(seq)*interval + 10*time.Millisecond}, 100)
+	}
+	ea := st.expectedArrival(interval)
+	want := 4*interval + 10*time.Millisecond
+	if ea != want {
+		t.Errorf("EA = %v, want %v", ea, want)
+	}
+	var empty peerState
+	if empty.expectedArrival(interval) != 0 {
+		t.Error("EA of empty window nonzero")
+	}
+}
+
+func TestPeerStateRing(t *testing.T) {
+	st := &peerState{}
+	for seq := uint64(1); seq <= 5; seq++ {
+		st.push(sample{seq: seq, arrival: time.Duration(seq) * time.Second}, 3)
+	}
+	if len(st.samples) != 3 {
+		t.Errorf("window len = %d, want 3", len(st.samples))
+	}
+	if st.maxSeq != 5 {
+		t.Errorf("maxSeq = %d, want 5", st.maxSeq)
+	}
+}
+
+type cluster struct {
+	sim   *des.Simulator
+	net   *netsim.Network
+	nodes []*Node
+	log   *trace.Log
+}
+
+type proxy struct{ n **Node }
+
+func (p proxy) Deliver(from ident.ID, payload any) {
+	if *p.n != nil {
+		(*p.n).Deliver(from, payload)
+	}
+}
+
+func newCluster(t *testing.T, n int, delay netsim.DelayModel, interval, alpha time.Duration) *cluster {
+	t.Helper()
+	c := &cluster{sim: des.New(3), log: &trace.Log{}}
+	c.net = netsim.New(c.sim, netsim.Config{Delay: delay})
+	peers := ident.FullSet(n)
+	c.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		var nd *Node
+		env := c.net.AddNode(id, proxy{&nd})
+		var err error
+		nd, err = NewNode(env, Config{Self: id, Peers: peers, Interval: interval, Alpha: alpha, Sink: c.log})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[i] = nd
+	}
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+	return c
+}
+
+func TestNoFalseSuspicionsOnSchedule(t *testing.T) {
+	c := newCluster(t, 4, netsim.Constant{D: 10 * time.Millisecond}, time.Second, 200*time.Millisecond)
+	c.sim.RunUntil(30 * time.Second)
+	if c.log.Len() != 0 {
+		t.Errorf("suspicions on a punctual network:\n%s", c.log)
+	}
+}
+
+func TestDetectsCrashNearExpectedArrival(t *testing.T) {
+	const (
+		interval = time.Second
+		alpha    = 200 * time.Millisecond
+		crashAt  = 10 * time.Second
+	)
+	c := newCluster(t, 3, netsim.Constant{D: 10 * time.Millisecond}, interval, alpha)
+	c.sim.At(crashAt, func() { c.net.Crash(2) })
+	c.sim.RunUntil(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		at, ok := c.log.FirstSuspicion(ident.ID(i), 2)
+		if !ok {
+			t.Fatalf("node %d never suspected the crashed process", i)
+		}
+		// NFD-E detects at EA+α: within one interval + α + transit of the
+		// crash.
+		if at < crashAt || at > crashAt+interval+alpha+50*time.Millisecond {
+			t.Errorf("node %d detection at %v, want ≈ crash + Δ + α", i, at)
+		}
+		if !c.nodes[i].IsSuspected(2) {
+			t.Errorf("node %d suspicion not permanent", i)
+		}
+	}
+}
+
+func TestAdaptsToTransitDelay(t *testing.T) {
+	// With a large constant transit delay, EA shifts and no suspicion
+	// arises even though heartbeats arrive 500 ms "late" in absolute terms.
+	c := newCluster(t, 2, netsim.Constant{D: 500 * time.Millisecond}, time.Second, 300*time.Millisecond)
+	c.sim.RunUntil(30 * time.Second)
+	if c.log.Len() != 0 {
+		t.Errorf("failed to adapt to constant transit delay:\n%s", c.log)
+	}
+}
+
+func TestRestoreAfterDisturbance(t *testing.T) {
+	delay := netsim.Disturbance{
+		Base:   netsim.Constant{D: 10 * time.Millisecond},
+		Nodes:  ident.SetOf(1),
+		Start:  10 * time.Second,
+		End:    15 * time.Second,
+		Factor: 500,
+	}
+	c := newCluster(t, 2, delay, time.Second, 200*time.Millisecond)
+	c.sim.RunUntil(60 * time.Second)
+	falseSusp := false
+	for _, e := range c.log.Events() {
+		if e.Subject == 1 && e.Suspected {
+			falseSusp = true
+		}
+	}
+	if !falseSusp {
+		t.Fatal("disturbance did not trigger suspicion; scenario too weak")
+	}
+	if c.nodes[0].IsSuspected(1) {
+		t.Error("suspicion not revoked after heartbeats resumed")
+	}
+}
+
+func TestStaleHeartbeatIgnored(t *testing.T) {
+	sim := des.New(1)
+	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{}})
+	var nd *Node
+	env := net.AddNode(0, proxy{&nd})
+	sender := net.AddNode(1, proxy{new(*Node)})
+	var err error
+	nd, err = NewNode(env, Config{Self: 0, Peers: ident.SetOf(1), Interval: time.Second, Alpha: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Start()
+	sender.Send(0, Message{From: 1, Seq: 5})
+	sender.Send(0, Message{From: 1, Seq: 3}) // reordered duplicate
+	sender.Send(0, "junk")
+	sim.RunUntil(100 * time.Millisecond)
+	nd.mu.Lock()
+	max := nd.peers[1].maxSeq
+	samples := len(nd.peers[1].samples)
+	nd.mu.Unlock()
+	if max != 5 {
+		t.Errorf("maxSeq = %d, want 5", max)
+	}
+	if samples != 2 { // bootstrap sample + seq 5
+		t.Errorf("samples = %d, want 2 (stale seq 3 dropped)", samples)
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := newCluster(t, 2, netsim.Constant{D: time.Millisecond}, 100*time.Millisecond, 50*time.Millisecond)
+	c.sim.RunUntil(500 * time.Millisecond)
+	c.nodes[0].Stop()
+	c.nodes[1].Stop()
+	c.log.Reset()
+	c.sim.RunUntil(5 * time.Second)
+	if c.log.Len() != 0 {
+		t.Errorf("stopped nodes produced events:\n%s", c.log)
+	}
+}

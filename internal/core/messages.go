@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncfd/internal/core/tagset"
+	"asyncfd/internal/ident"
+)
+
+// Query is the message broadcast at the start of every round by task T1. It
+// carries the sender's full suspicion and mistake knowledge, each entry
+// stamped with the logical counter current when the information was
+// generated. The flooding of these two sets inside queries is the only
+// propagation mechanism of the protocol.
+type Query struct {
+	From      ident.ID
+	Round     uint64 // unique per (From, query); pairs queries with responses
+	Suspected []tagset.Entry
+	Mistake   []tagset.Entry
+}
+
+// String renders a compact human-readable form for traces.
+func (q Query) String() string {
+	return fmt.Sprintf("QUERY(from=%v round=%d susp=%d mist=%d)", q.From, q.Round, len(q.Suspected), len(q.Mistake))
+}
+
+// Response acknowledges a query. It carries no state: its information
+// content is purely its arrival order — whether it lands among the first
+// quorum responses ("winning response").
+type Response struct {
+	From  ident.ID
+	Round uint64 // echoes Query.Round
+}
+
+// String renders a compact human-readable form for traces.
+func (r Response) String() string {
+	return fmt.Sprintf("RESPONSE(from=%v round=%d)", r.From, r.Round)
+}

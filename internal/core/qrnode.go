@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// NodeConfig parameterizes the runtime that drives a Detector over a
+// node.Env.
+type NodeConfig struct {
+	// Detector configures the protocol state machine.
+	Detector Config
+	// Window is the extra collection time after the quorum is reached and
+	// before the round is evaluated. The pure paper protocol uses 0; the
+	// evaluation sections of the paper family insert a waiting period here
+	// so that late (but live) processes are counted, trading detection
+	// latency for fewer false suspicions. Correctness is unaffected.
+	Window time.Duration
+	// Interval is the pause between the end of a round and the next query,
+	// throttling network load. The paper only requires it to be finite.
+	Interval time.Duration
+	// Rebroadcast, when positive, re-sends the current query if the quorum
+	// has not been met after this long. The pure protocol never needs it
+	// (reliable links guarantee the quorum), but a node that was
+	// disconnected while moving loses its in-flight query and would
+	// otherwise stall forever — the mobility extension sets this.
+	// Duplicate queries and responses are idempotent, so correctness is
+	// unaffected.
+	Rebroadcast time.Duration
+	// Sink, if set, receives timestamped suspicion transitions.
+	Sink fd.SuspicionSink
+}
+
+// Node drives the time-free detector protocol on a runtime environment: it
+// owns the query rounds of task T1 and answers queries per task T2. Node is
+// safe for concurrent use (the live runtime delivers from multiple
+// goroutines; the simulator from one).
+type Node struct {
+	mu      sync.Mutex
+	env     node.Env
+	cfg     NodeConfig
+	det     *Detector
+	stopped bool
+	pending node.Timer // end-of-round or next-round timer
+	requery node.Timer // optional rebroadcast timer
+	rounds  uint64
+}
+
+var _ node.Handler = (*Node)(nil)
+var _ fd.Detector = (*Node)(nil)
+
+// NewNode builds the runtime node. The environment's identity must match
+// the detector configuration.
+func NewNode(env node.Env, cfg NodeConfig) (*Node, error) {
+	if env.Self() != cfg.Detector.Self {
+		return nil, fmt.Errorf("core: env identity %v != detector identity %v", env.Self(), cfg.Detector.Self)
+	}
+	n := &Node{env: env, cfg: cfg}
+	detCfg := cfg.Detector
+	detCfg.Observer = (*nodeObserver)(n)
+	det, err := NewDetector(detCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.det = det
+	return n, nil
+}
+
+// nodeObserver adapts detector events to the timestamped suspicion sink.
+// It runs with n.mu held (detector calls are always under the lock).
+type nodeObserver Node
+
+// FDEvent implements Observer.
+func (o *nodeObserver) FDEvent(e Event) {
+	n := (*Node)(o)
+	if n.cfg.Sink == nil {
+		return
+	}
+	switch e.Kind {
+	case Suspect:
+		n.cfg.Sink.OnSuspicion(n.env.Now(), n.env.Self(), e.Subject, true)
+	case Restore:
+		n.cfg.Sink.OnSuspicion(n.env.Now(), n.env.Self(), e.Subject, false)
+	}
+}
+
+// Start launches the first query round. It must be called exactly once.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.startRoundLocked()
+}
+
+// Stop halts the querying task. In-flight deliveries are still answered (a
+// stopped node keeps responding to queries, like a process that is alive but
+// no longer interested in the oracle output); pass-through behavior keeps
+// shutdown of live clusters graceful.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.pending != nil {
+		n.pending.Stop()
+		n.pending = nil
+	}
+	n.stopRequeryLocked()
+}
+
+func (n *Node) stopRequeryLocked() {
+	if n.requery != nil {
+		n.requery.Stop()
+		n.requery = nil
+	}
+}
+
+// Rounds returns the number of completed query rounds.
+func (n *Node) Rounds() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rounds
+}
+
+// Suspects implements fd.Detector.
+func (n *Node) Suspects() ident.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.det.Suspects()
+}
+
+// IsSuspected implements fd.Detector.
+func (n *Node) IsSuspected(id ident.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.det.IsSuspected(id)
+}
+
+// Known returns the current known set (membership discovered so far).
+func (n *Node) Known() ident.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.det.Known()
+}
+
+// Detector exposes the underlying state machine for tests and diagnostics.
+// Callers must not mutate it while the node is running.
+func (n *Node) Detector() *Detector { return n.det }
+
+// Deliver implements node.Handler, dispatching task T2 (queries) and the
+// response collection of task T1.
+func (n *Node) Deliver(from ident.ID, payload any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch m := payload.(type) {
+	case Query:
+		resp := n.det.HandleQuery(m)
+		n.env.Send(from, resp)
+	case Response:
+		if n.det.HandleResponse(m) {
+			n.maybeCloseRoundLocked()
+		}
+	}
+}
+
+func (n *Node) startRoundLocked() {
+	if n.stopped {
+		return
+	}
+	n.pending = nil
+	q := n.det.BeginRound()
+	n.env.Broadcast(q)
+	n.armRequeryLocked(q)
+	n.maybeCloseRoundLocked() // quorum of 1 (own response) is possible
+}
+
+// armRequeryLocked schedules a rebroadcast of q while its quorum is unmet.
+func (n *Node) armRequeryLocked(q Query) {
+	if n.cfg.Rebroadcast <= 0 {
+		return
+	}
+	n.requery = n.env.After(n.cfg.Rebroadcast, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped || !n.det.RoundOpen() || n.det.Round() != q.Round || n.det.QuorumMet() {
+			return
+		}
+		n.env.Broadcast(q)
+		n.armRequeryLocked(q)
+	})
+}
+
+// maybeCloseRoundLocked arms the end-of-round step once the quorum is met.
+func (n *Node) maybeCloseRoundLocked() {
+	if n.stopped || !n.det.RoundOpen() || !n.det.QuorumMet() || n.pending != nil {
+		return
+	}
+	n.stopRequeryLocked()
+	n.pending = n.env.After(n.cfg.Window, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.finishRoundLocked()
+	})
+}
+
+func (n *Node) finishRoundLocked() {
+	if n.stopped {
+		return
+	}
+	n.pending = nil
+	if _, err := n.det.EndRound(); err != nil {
+		// Unreachable by construction: the round was open with quorum met
+		// when the timer was armed, and nothing closes rounds in between.
+		panic(fmt.Sprintf("core: EndRound: %v", err))
+	}
+	n.rounds++
+	n.pending = n.env.After(n.cfg.Interval, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.pending = nil
+		n.startRoundLocked()
+	})
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/trace"
+)
+
+// simCluster wires n query-response nodes over a simulated network.
+type simCluster struct {
+	sim   *des.Simulator
+	net   *netsim.Network
+	nodes []*Node
+	log   *trace.Log
+}
+
+func newSimCluster(t *testing.T, seed int64, n, f int, delay netsim.DelayModel, window, interval time.Duration) *simCluster {
+	t.Helper()
+	c := &simCluster{
+		sim: des.New(seed),
+		log: &trace.Log{},
+	}
+	c.net = netsim.New(c.sim, netsim.Config{Delay: delay})
+	c.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		cfg := NodeConfig{
+			Detector: Config{Self: id, Membership: KnownMembership, N: n, F: f},
+			Window:   window,
+			Interval: interval,
+			Sink:     c.log,
+		}
+		// Two-phase registration: the env needs the handler, the node needs
+		// the env.
+		var nd *Node
+		env := c.net.AddNode(id, nodeHandlerProxy{&nd})
+		node, err := NewNode(env, cfg)
+		if err != nil {
+			t.Fatalf("NewNode(%v): %v", id, err)
+		}
+		nd = node
+		c.nodes[i] = node
+	}
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+	return c
+}
+
+// nodeHandlerProxy defers handler resolution until after construction.
+type nodeHandlerProxy struct{ n **Node }
+
+func (p nodeHandlerProxy) Deliver(from ident.ID, payload any) {
+	if *p.n != nil {
+		(*p.n).Deliver(from, payload)
+	}
+}
+
+func (c *simCluster) crashAt(id ident.ID, at time.Duration) {
+	c.sim.At(at, func() { c.net.Crash(id) })
+}
+
+func (c *simCluster) run(until time.Duration) { c.sim.RunUntil(until) }
+
+func TestClusterCompleteness(t *testing.T) {
+	// n=5, f=1: p4 crashes at 2s. Every correct process must eventually and
+	// permanently suspect p4 (strong completeness).
+	c := newSimCluster(t, 42, 5, 1,
+		netsim.Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond},
+		10*time.Millisecond, 100*time.Millisecond)
+	c.crashAt(4, 2*time.Second)
+	c.run(20 * time.Second)
+
+	for i := 0; i < 4; i++ {
+		nd := c.nodes[i]
+		if !nd.IsSuspected(4) {
+			t.Errorf("node %d does not suspect crashed p4; suspects=%v", i, nd.Suspects())
+		}
+		// Permanence: the last transition about p4 is a suspicion, recorded
+		// after the crash.
+		last, ok := c.log.LastTransition(ident.ID(i), 4)
+		if !ok || !last.Suspected {
+			t.Errorf("node %d last transition about p4 = %+v, want suspicion", i, last)
+		}
+		if last.At < 2*time.Second {
+			t.Errorf("node %d final suspicion at %v, before the crash", i, last.At)
+		}
+	}
+}
+
+func TestClusterEventualWeakAccuracyUnderMP(t *testing.T) {
+	// The favored process p0 always answers fastest (message-pattern
+	// assumption holds from the start), so no process ever suspects p0.
+	delay := netsim.Bias{
+		Base:    netsim.Uniform{Min: time.Millisecond, Max: 20 * time.Millisecond},
+		Fast:    netsim.Constant{D: 100 * time.Microsecond},
+		Favored: ident.SetOf(0),
+	}
+	c := newSimCluster(t, 7, 5, 1, delay, 0, 50*time.Millisecond)
+	c.run(20 * time.Second)
+
+	for _, e := range c.log.Events() {
+		if e.Subject == 0 && e.Suspected {
+			t.Fatalf("favored process suspected: %v", e)
+		}
+	}
+	for i, nd := range c.nodes {
+		if nd.IsSuspected(0) {
+			t.Errorf("node %d suspects the favored process", i)
+		}
+	}
+}
+
+func TestClusterNoFalseSuspicionsWithGenerousWindow(t *testing.T) {
+	// With a window larger than any possible delay spread and no crash,
+	// every response is collected and the run is suspicion-free.
+	c := newSimCluster(t, 3, 4, 1,
+		netsim.Uniform{Min: time.Millisecond, Max: 10 * time.Millisecond},
+		50*time.Millisecond, 50*time.Millisecond)
+	c.run(10 * time.Second)
+	if got := c.log.Len(); got != 0 {
+		t.Errorf("recorded %d suspicion events in a crash-free generous-window run:\n%s", got, c.log)
+	}
+	for _, nd := range c.nodes {
+		if nd.Rounds() == 0 {
+			t.Error("a node completed zero rounds")
+		}
+	}
+}
+
+func TestClusterDisturbanceSelfCorrects(t *testing.T) {
+	// p3 is transiently slowed ×100 during [3s, 6s): it gets falsely
+	// suspected, then its self-refutation floods and clears every suspicion.
+	delay := netsim.Disturbance{
+		Base:   netsim.Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond},
+		Nodes:  ident.SetOf(3),
+		Start:  3 * time.Second,
+		End:    6 * time.Second,
+		Factor: 100,
+	}
+	c := newSimCluster(t, 11, 5, 1, delay, 10*time.Millisecond, 100*time.Millisecond)
+	c.run(30 * time.Second)
+
+	suspectedDuring := false
+	for _, e := range c.log.Events() {
+		if e.Subject == 3 && e.Suspected {
+			suspectedDuring = true
+			break
+		}
+	}
+	if !suspectedDuring {
+		t.Fatal("disturbance produced no false suspicion; scenario too weak")
+	}
+	for i, nd := range c.nodes {
+		if nd.IsSuspected(3) {
+			t.Errorf("node %d still suspects p3 long after the disturbance; log:\n%s", i, c.log)
+		}
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	runTrace := func() string {
+		c := newSimCluster(t, 99, 5, 2,
+			netsim.Exponential{Min: time.Millisecond, Mean: 4 * time.Millisecond, Cap: 80 * time.Millisecond},
+			2*time.Millisecond, 20*time.Millisecond)
+		c.crashAt(2, time.Second)
+		c.run(5 * time.Second)
+		return c.log.String()
+	}
+	a, b := runTrace(), runTrace()
+	if a != b {
+		t.Errorf("same seed produced different traces:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+func TestClusterStopHaltsQuerying(t *testing.T) {
+	c := newSimCluster(t, 5, 3, 1, netsim.Constant{D: time.Millisecond}, 0, 10*time.Millisecond)
+	c.run(time.Second)
+	rounds := c.nodes[0].Rounds()
+	if rounds == 0 {
+		t.Fatal("no rounds before Stop")
+	}
+	c.nodes[0].Stop()
+	c.run(2 * time.Second)
+	if got := c.nodes[0].Rounds(); got != rounds {
+		t.Errorf("rounds advanced after Stop: %d -> %d", rounds, got)
+	}
+	// A stopped node keeps answering queries, so others do not suspect it.
+	if c.nodes[1].IsSuspected(0) || c.nodes[2].IsSuspected(0) {
+		t.Error("stopped (but alive) node became suspected")
+	}
+}
+
+func TestNewNodeIdentityMismatch(t *testing.T) {
+	sim := des.New(1)
+	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{}})
+	env := net.AddNode(3, nodeHandlerProxy{new(*Node)})
+	_, err := NewNode(env, NodeConfig{Detector: Config{Self: 0, N: 4, F: 1}})
+	if err == nil {
+		t.Error("NewNode with mismatched identity succeeded")
+	}
+}
+
+func TestNewNodeBadDetectorConfig(t *testing.T) {
+	sim := des.New(1)
+	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{}})
+	env := net.AddNode(0, nodeHandlerProxy{new(*Node)})
+	_, err := NewNode(env, NodeConfig{Detector: Config{Self: 0, N: 1, F: 0}})
+	if err == nil {
+		t.Error("NewNode with invalid detector config succeeded")
+	}
+}
+
+func TestTwoProcessCluster(t *testing.T) {
+	// n=2, f=1: quorum is 1 (own response only). Rounds close immediately;
+	// the peer is suspected as soon as its response misses the window, and
+	// restored via refutation when its query arrives. The protocol must not
+	// deadlock in this degenerate configuration.
+	c := newSimCluster(t, 13, 2, 1, netsim.Constant{D: 2 * time.Millisecond}, 5*time.Millisecond, 10*time.Millisecond)
+	c.run(5 * time.Second)
+	if c.nodes[0].Rounds() == 0 || c.nodes[1].Rounds() == 0 {
+		t.Error("two-process cluster made no progress")
+	}
+}
+
+func BenchmarkClusterSecond(b *testing.B) {
+	// One simulated second of a 16-process cluster per iteration.
+	for i := 0; i < b.N; i++ {
+		sim := des.New(1)
+		net := netsim.New(sim, netsim.Config{Delay: netsim.Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond}})
+		nodes := make([]*Node, 16)
+		for j := 0; j < 16; j++ {
+			id := ident.ID(j)
+			var nd *Node
+			env := net.AddNode(id, nodeHandlerProxy{&nd})
+			n, err := NewNode(env, NodeConfig{
+				Detector: Config{Self: id, N: 16, F: 5},
+				Window:   5 * time.Millisecond,
+				Interval: 100 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nd = n
+			nodes[j] = n
+		}
+		for _, n := range nodes {
+			n.Start()
+		}
+		sim.RunUntil(time.Second)
+	}
+}

@@ -1,0 +1,202 @@
+// Package tagset implements the counter-stamped process sets at the heart of
+// the time-free failure-detector protocol.
+//
+// The protocol maintains two such sets per process: suspected_i and
+// mistake_i. Each element is a pair ⟨id, counter⟩ where counter is the value
+// of the originator's logical round counter when the piece of information was
+// generated. The counter is a recency tag: when two pieces of information
+// about the same process meet, the one with the larger tag wins, and — per
+// the paper — a *mistake* (refutation) wins a tie against a *suspicion*.
+// These merge laws are what prevents stale suspicions from circulating
+// forever in the flooding scheme.
+package tagset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asyncfd/internal/ident"
+)
+
+// Tag is the logical counter stamped on each piece of suspicion/mistake
+// information. Tags only grow; they are never compared across processes
+// except through the merge rules below.
+type Tag uint64
+
+// Entry is one ⟨id, tag⟩ pair.
+type Entry struct {
+	ID  ident.ID
+	Tag Tag
+}
+
+// String renders the entry like the paper's ⟨p3, 17⟩.
+func (e Entry) String() string {
+	return fmt.Sprintf("⟨%v, %d⟩", e.ID, uint64(e.Tag))
+}
+
+// Set is a set of ⟨id, tag⟩ pairs with at most one entry per id. The zero
+// value is an empty set ready for use. Set is not safe for concurrent use.
+type Set struct {
+	m map[ident.ID]Tag
+}
+
+// New returns an empty set. Equivalent to the zero value; provided for
+// symmetry with sized constructors elsewhere.
+func New() *Set { return &Set{} }
+
+func (s *Set) ensure() {
+	if s.m == nil {
+		s.m = make(map[ident.ID]Tag)
+	}
+}
+
+// Add implements the paper's Add(set, ⟨id, counter⟩): it inserts ⟨id, tag⟩,
+// replacing any existing entry for id regardless of its tag. Callers are
+// responsible for recency checks; see MergeSuspicion/MergeMistake for the
+// guarded variants used by task T2.
+func (s *Set) Add(id ident.ID, tag Tag) {
+	if !id.Valid() {
+		return
+	}
+	s.ensure()
+	s.m[id] = tag
+}
+
+// Remove deletes the entry for id, reporting whether one was present.
+func (s *Set) Remove(id ident.ID) bool {
+	if s.m == nil {
+		return false
+	}
+	if _, ok := s.m[id]; !ok {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+// Get returns the tag associated with id.
+func (s *Set) Get(id ident.ID) (Tag, bool) {
+	if s.m == nil {
+		return 0, false
+	}
+	t, ok := s.m[id]
+	return t, ok
+}
+
+// Has reports whether id has an entry.
+func (s *Set) Has(id ident.ID) bool {
+	_, ok := s.Get(id)
+	return ok
+}
+
+// Len returns the number of entries.
+func (s *Set) Len() int { return len(s.m) }
+
+// Clear removes all entries.
+func (s *Set) Clear() {
+	for id := range s.m {
+		delete(s.m, id)
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	out := &Set{m: make(map[ident.ID]Tag, len(s.m))}
+	for id, t := range s.m {
+		out.m[id] = t
+	}
+	return out
+}
+
+// Entries returns the entries sorted by id (deterministic order for messages
+// and tests).
+func (s *Set) Entries() []Entry {
+	out := make([]Entry, 0, len(s.m))
+	for id, t := range s.m {
+		out = append(out, Entry{ID: id, Tag: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the ids present, sorted ascending.
+func (s *Set) IDs() []ident.ID {
+	out := make([]ident.ID, 0, len(s.m))
+	for id := range s.m {
+		out = append(out, id)
+	}
+	return ident.SortIDs(out)
+}
+
+// IDSet returns the ids present as a bitset.
+func (s *Set) IDSet() ident.Set {
+	var out ident.Set
+	for id := range s.m {
+		out.Add(id)
+	}
+	return out
+}
+
+// ForEach visits entries in unspecified order. If fn returns false the
+// iteration stops.
+func (s *Set) ForEach(fn func(Entry) bool) {
+	for id, t := range s.m {
+		if !fn(Entry{ID: id, Tag: t}) {
+			return
+		}
+	}
+}
+
+// String renders the set with entries sorted by id.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.Entries() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Fresher reports whether information tagged incoming about id is strictly
+// more recent than whatever suspected and mistake currently record about id.
+// This is the guard of Algorithm 1 line 22 (suspicion loop): the receiver
+// takes a suspicion into account only if the id is unknown to both sets or
+// the known tag is strictly smaller.
+func Fresher(suspected, mistake *Set, id ident.ID, incoming Tag) bool {
+	cur, ok := currentTag(suspected, mistake, id)
+	return !ok || cur < incoming
+}
+
+// FresherOrEqual is the guard of Algorithm 1 line 33 (mistake loop): a
+// mistake wins ties, so an incoming mistake is applied when the known tag is
+// smaller or equal.
+func FresherOrEqual(suspected, mistake *Set, id ident.ID, incoming Tag) bool {
+	cur, ok := currentTag(suspected, mistake, id)
+	return !ok || cur <= incoming
+}
+
+// currentTag returns the tag recorded for id across the pair of sets. At
+// most one of the two sets holds id at any time in the protocol; if an
+// invariant violation ever put id in both, the larger tag wins.
+func currentTag(suspected, mistake *Set, id ident.ID) (Tag, bool) {
+	st, sok := suspected.Get(id)
+	mt, mok := mistake.Get(id)
+	switch {
+	case sok && mok:
+		if st > mt {
+			return st, true
+		}
+		return mt, true
+	case sok:
+		return st, true
+	case mok:
+		return mt, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,188 @@
+// Package des is a deterministic discrete-event simulation kernel.
+//
+// It replaces the paper's simulator testbed: experiments run in virtual time
+// (no real sleeps), driven by a single-threaded event loop with a seeded
+// random source, so every run is exactly reproducible from its seed. All
+// simulated components (network links, protocol timers, fault injectors)
+// schedule closures on the kernel; the kernel executes them in (time, FIFO)
+// order.
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled closure. seq breaks ties so that events scheduled for
+// the same instant run in scheduling order (deterministic FIFO).
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap bookkeeping
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the event if it has not run yet, reporting whether it was
+// still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped {
+		return false
+	}
+	t.ev.stopped = true
+	t.ev.fn = nil // release captured state promptly
+	return true
+}
+
+// Simulator is the event loop. It is strictly single-threaded: all scheduled
+// closures run on the goroutine that calls Step/Run/RunUntil, so simulated
+// components need no locking.
+type Simulator struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	halted  bool
+	stepped uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source. All simulated
+// randomness must come from here to keep runs reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.stepped }
+
+// Pending returns the number of events currently scheduled (including
+// stopped-but-unpopped ones).
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// After schedules fn to run d from now. Negative delays are clamped to zero:
+// the event runs at the current instant, after already-queued events for
+// that instant.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the next pending event, advancing virtual time. It returns
+// false when no events remain or the simulator has been halted.
+func (s *Simulator) Step() bool {
+	for {
+		if s.halted || s.queue.Len() == 0 {
+			return false
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		ev.stopped = true // consume: a later Timer.Stop reports false
+		s.now = ev.at
+		s.stepped++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until none remain or Halt is called.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// t. Events scheduled exactly at t do run.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for !s.halted && s.queue.Len() > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if !s.halted && s.now < t {
+		s.now = t
+	}
+}
+
+func (s *Simulator) peek() *event {
+	for s.queue.Len() > 0 {
+		if !s.queue[0].stopped {
+			return s.queue[0]
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Halt stops the event loop; Step/Run/RunUntil return immediately afterward.
+// Pending events are kept but will not run unless Resume is called.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Resume clears a previous Halt.
+func (s *Simulator) Resume() { s.halted = false }
+
+// Halted reports whether the simulator is halted.
+func (s *Simulator) Halted() bool { return s.halted }

@@ -1,0 +1,245 @@
+// Package exp is the experiment harness: it wires simulated clusters of each
+// failure-detector implementation, injects faults and disturbances, and
+// regenerates every table and figure of the (reconstructed) evaluation as
+// printable data tables. One function per experiment; cmd/fdbench and the
+// root bench suite call them.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"asyncfd/internal/chen"
+	"asyncfd/internal/core"
+	"asyncfd/internal/des"
+	"asyncfd/internal/faults"
+	"asyncfd/internal/fd"
+	"asyncfd/internal/heartbeat"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/phiaccrual"
+	"asyncfd/internal/qos"
+	"asyncfd/internal/trace"
+	"asyncfd/internal/wire"
+)
+
+// Kind selects a failure-detector implementation.
+type Kind int
+
+const (
+	// KindAsync is the paper's time-free query–response detector.
+	KindAsync Kind = iota + 1
+	// KindHeartbeat is the fixed-timeout heartbeat baseline.
+	KindHeartbeat
+	// KindPhi is the φ-accrual baseline.
+	KindPhi
+	// KindChen is the Chen NFD-E baseline.
+	KindChen
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindAsync:
+		return "async"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindPhi:
+		return "phi-accrual"
+	case KindChen:
+		return "chen-nfde"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AllKinds lists every detector implementation in comparison order.
+func AllKinds() []Kind { return []Kind{KindAsync, KindHeartbeat, KindPhi, KindChen} }
+
+// ClusterConfig describes one simulated detector cluster.
+type ClusterConfig struct {
+	Kind Kind
+	N    int
+	F    int
+	Seed int64
+	// Delay is the network latency model (required).
+	Delay netsim.DelayModel
+	// CountBytes attaches the wire codec for byte accounting.
+	CountBytes bool
+	// StartJitter staggers node start times uniformly over [0, StartJitter)
+	// — real deployments never start rounds in lockstep, and the detector's
+	// flooding advantage depends on phase diversity. Default 1s; set
+	// negative to start everyone at t=0.
+	StartJitter time.Duration
+
+	// Async knobs (KindAsync).
+	Window      time.Duration // extra collection window per round (the Δ of the paper's evaluation)
+	Interval    time.Duration // pause between rounds
+	DisableTags bool          // A1 ablation only
+
+	// Timer-based knobs.
+	HBInterval   time.Duration // Δ for heartbeat/phi/chen senders
+	HBTimeout    time.Duration // Θ for heartbeat
+	PhiThreshold float64       // φ threshold
+	ChenAlpha    time.Duration // α margin for NFD-E
+}
+
+func (c *ClusterConfig) fillDefaults() {
+	if c.Window == 0 && c.Kind == KindAsync {
+		c.Window = time.Second // the paper family's Δ between lines 7 and 8
+	}
+	if c.HBInterval == 0 {
+		c.HBInterval = time.Second // Δ = 1s, as in the evaluation setup
+	}
+	if c.HBTimeout == 0 {
+		c.HBTimeout = 2 * time.Second // Θ = 2s
+	}
+	if c.ChenAlpha == 0 {
+		c.ChenAlpha = 300 * time.Millisecond
+	}
+	if c.StartJitter == 0 {
+		c.StartJitter = time.Second
+	}
+}
+
+// runner is implemented by every detector node runtime.
+type runner interface {
+	Start()
+	Stop()
+	Deliver(from ident.ID, payload any)
+}
+
+// Cluster is a running simulated detector deployment.
+type Cluster struct {
+	Sim     *des.Simulator
+	Net     *netsim.Network
+	Log     *trace.Log
+	Members ident.Set
+
+	cfg       ClusterConfig
+	detectors map[ident.ID]fd.Detector
+	nodes     map[ident.ID]runner
+}
+
+// handlerCell breaks the construction cycle env↔node.
+type handlerCell struct{ h runner }
+
+func (c *handlerCell) Deliver(from ident.ID, payload any) {
+	if c.h != nil {
+		c.h.Deliver(from, payload)
+	}
+}
+
+// NewCluster builds and starts a detector on every process.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.fillDefaults()
+	if cfg.Delay == nil {
+		return nil, fmt.Errorf("exp: ClusterConfig.Delay is required")
+	}
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("exp: need N ≥ 2, got %d", cfg.N)
+	}
+	c := &Cluster{
+		Sim:       des.New(cfg.Seed),
+		Log:       &trace.Log{},
+		Members:   ident.FullSet(cfg.N),
+		cfg:       cfg,
+		detectors: make(map[ident.ID]fd.Detector, cfg.N),
+		nodes:     make(map[ident.ID]runner, cfg.N),
+	}
+	netCfg := netsim.Config{Delay: cfg.Delay}
+	if cfg.CountBytes {
+		netCfg.SizeOf = wire.Size
+	}
+	c.Net = netsim.New(c.Sim, netCfg)
+
+	for i := 0; i < cfg.N; i++ {
+		id := ident.ID(i)
+		cell := &handlerCell{}
+		env := c.Net.AddNode(id, cell)
+		det, run, err := buildNode(env, id, cfg, c.Log)
+		if err != nil {
+			return nil, err
+		}
+		cell.h = run
+		c.detectors[id] = det
+		c.nodes[id] = run
+	}
+	// Start in identity order (map iteration order would make runs
+	// non-reproducible), each node at its own random phase.
+	for i := 0; i < cfg.N; i++ {
+		n := c.nodes[ident.ID(i)]
+		var jitter time.Duration
+		if cfg.StartJitter > 0 {
+			jitter = time.Duration(c.Sim.Rand().Int63n(int64(cfg.StartJitter)))
+		}
+		c.Sim.At(jitter, n.Start)
+	}
+	return c, nil
+}
+
+// buildNode constructs the configured detector kind on env.
+func buildNode(env *netsim.Env, id ident.ID, cfg ClusterConfig, log *trace.Log) (fd.Detector, runner, error) {
+	switch cfg.Kind {
+	case KindAsync:
+		n, err := core.NewNode(env, core.NodeConfig{
+			Detector: core.Config{
+				Self:        id,
+				Membership:  core.KnownMembership,
+				N:           cfg.N,
+				F:           cfg.F,
+				DisableTags: cfg.DisableTags,
+			},
+			Window:   cfg.Window,
+			Interval: cfg.Interval,
+			Sink:     log,
+		})
+		return n, n, err
+	case KindHeartbeat:
+		n, err := heartbeat.NewNode(env, heartbeat.Config{
+			Self:     id,
+			Peers:    ident.FullSet(cfg.N),
+			Interval: cfg.HBInterval,
+			Timeout:  cfg.HBTimeout,
+			Sink:     log,
+		})
+		return n, n, err
+	case KindPhi:
+		n, err := phiaccrual.NewNode(env, phiaccrual.Config{
+			Self:      id,
+			Peers:     ident.FullSet(cfg.N),
+			Interval:  cfg.HBInterval,
+			Threshold: cfg.PhiThreshold,
+			Sink:      log,
+		})
+		return n, n, err
+	case KindChen:
+		n, err := chen.NewNode(env, chen.Config{
+			Self:     id,
+			Peers:    ident.FullSet(cfg.N),
+			Interval: cfg.HBInterval,
+			Alpha:    cfg.ChenAlpha,
+			Sink:     log,
+		})
+		return n, n, err
+	default:
+		return nil, nil, fmt.Errorf("exp: unknown detector kind %d", cfg.Kind)
+	}
+}
+
+// Detector returns the oracle of process id.
+func (c *Cluster) Detector(id ident.ID) fd.Detector { return c.detectors[id] }
+
+// Inject delivers a crafted payload directly to a node, bypassing the
+// network — used by the A1 ablation to replay stale protocol messages.
+func (c *Cluster) Inject(to, from ident.ID, payload any) {
+	if n, ok := c.nodes[to]; ok {
+		n.Deliver(from, payload)
+	}
+}
+
+// Apply schedules a crash plan, returning the ground truth.
+func (c *Cluster) Apply(p faults.Plan) *qos.GroundTruth { return p.Apply(c.Sim, c.Net) }
+
+// RunUntil advances virtual time to t.
+func (c *Cluster) RunUntil(t time.Duration) { c.Sim.RunUntil(t) }

@@ -1,0 +1,567 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"asyncfd/internal/core"
+	"asyncfd/internal/core/tagset"
+	"asyncfd/internal/faults"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/qos"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed is the base random seed (default 1). Runs are deterministic in
+	// the seed.
+	Seed int64
+	// Quick shrinks sweeps and horizons for tests and benches.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) runs() int {
+	if o.Quick {
+		return 1
+	}
+	return 3
+}
+
+// defaultDelay is the nominal asynchronous network: ~1ms one-hop average
+// with an exponential tail, mirroring the paper family's δ = 1ms setup.
+func defaultDelay() netsim.DelayModel {
+	return netsim.Exponential{Min: 500 * time.Microsecond, Mean: 700 * time.Microsecond, Cap: 100 * time.Millisecond}
+}
+
+// detectionRun crashes one process and measures detection statistics.
+func detectionRun(cfg ClusterConfig, crash ident.ID, crashAt, horizon time.Duration) (qos.DetectionStats, *Cluster, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return qos.DetectionStats{}, nil, err
+	}
+	truth := c.Apply(faults.Plan{}.CrashAt(crash, crashAt))
+	c.RunUntil(horizon)
+	observers := c.Members.Clone()
+	observers.Remove(crash)
+	return qos.DetectionTimes(c.Log, truth, crash, observers), c, nil
+}
+
+// aggregateDetection merges per-seed stats: mean of averages, min of
+// minima, max of maxima.
+func aggregateDetection(stats []qos.DetectionStats) qos.DetectionStats {
+	var out qos.DetectionStats
+	if len(stats) == 0 {
+		return out
+	}
+	var avgSum time.Duration
+	first := true
+	for _, s := range stats {
+		avgSum += s.Avg
+		out.Count += s.Count
+		out.Missing += s.Missing
+		if first || s.Min < out.Min {
+			out.Min = s.Min
+		}
+		if first || s.Max > out.Max {
+			out.Max = s.Max
+		}
+		first = false
+	}
+	out.Avg = avgSum / time.Duration(len(stats))
+	return out
+}
+
+// E1DetectionVsN reproduces the headline comparison: failure detection time
+// versus system size for the time-free detector and the three timer-based
+// baselines. Expected shape: the time-free detector detects in roughly one
+// query period (Δ + δ) independent of n, while the fixed-timeout heartbeat
+// sits between Θ−Δ and Θ and the adaptive baselines near Δ + margin.
+func E1DetectionVsN(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "failure detection time vs system size n (avg/max over observers)",
+		Note:  "crash of one process at t=10.4s (mid heartbeat period); Δ=1s, Θ=2s; reconstructed experiment",
+		Columns: []string{"n", "f",
+			"async avg", "async max",
+			"hb avg", "hb max",
+			"phi avg", "phi max",
+			"chen avg", "chen max"},
+	}
+	ns := []int{4, 8, 16, 32, 64}
+	if opts.Quick {
+		ns = []int{4, 8}
+	}
+	for _, n := range ns {
+		f := (n - 1) / 3
+		if f < 1 {
+			f = 1
+		}
+		row := []string{strconv.Itoa(n), strconv.Itoa(f)}
+		for _, kind := range AllKinds() {
+			var stats []qos.DetectionStats
+			for r := 0; r < opts.runs(); r++ {
+				cfg := ClusterConfig{
+					Kind: kind, N: n, F: f,
+					Seed:  opts.seed() + int64(r)*101,
+					Delay: defaultDelay(),
+				}
+				s, _, err := detectionRun(cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
+				if err != nil {
+					return nil, fmt.Errorf("E1 %v n=%d: %w", kind, n, err)
+				}
+				stats = append(stats, s)
+			}
+			agg := aggregateDetection(stats)
+			row = append(row, ms(agg.Avg), ms(agg.Max))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// E2DetectionVsF sweeps the crash bound f for the time-free detector with no
+// extra collection window: a larger f means a smaller quorum n−f, so rounds
+// terminate earlier — detection gets faster but the f slowest responders of
+// each round are falsely suspected more often. The experiment exposes the
+// latency/accuracy trade-off built into the quorum size.
+func E2DetectionVsF(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "time-free detector: detection time and accuracy vs f (quorum n−f)",
+		Note:    "n=16, window=0 (pure protocol), crash at t=10s; reconstructed experiment",
+		Columns: []string{"f", "quorum", "det avg", "det max", "mistakes/pair/s", "PA"},
+	}
+	n := 16
+	fs := []int{1, 3, 5, 7}
+	if opts.Quick {
+		n = 8
+		fs = []int{1, 3}
+	}
+	const horizon = 30 * time.Second
+	for _, f := range fs {
+		var stats []qos.DetectionStats
+		var rate, pa float64
+		for r := 0; r < opts.runs(); r++ {
+			cfg := ClusterConfig{
+				Kind: KindAsync, N: n, F: f,
+				Seed:     opts.seed() + int64(r)*101,
+				Delay:    defaultDelay(),
+				Window:   time.Nanosecond, // effectively zero, explicit to skip default
+				Interval: time.Second,
+			}
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E2 f=%d: %w", f, err)
+			}
+			truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 10*time.Second))
+			c.RunUntil(horizon)
+			observers := c.Members.Clone()
+			observers.Remove(ident.ID(n - 1))
+			stats = append(stats, qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers))
+			m := qos.Mistakes(c.Log, truth, c.Members, horizon)
+			rate += m.Rate
+			pa += qos.QueryAccuracy(c.Log, truth, c.Members, horizon)
+		}
+		agg := aggregateDetection(stats)
+		runs := float64(opts.runs())
+		t.AddRow(strconv.Itoa(f), strconv.Itoa(n-f), ms(agg.Avg), ms(agg.Max),
+			fmt.Sprintf("%.4f", rate/runs), f3(pa/runs))
+	}
+	return t, nil
+}
+
+// E3Disturbance regenerates the "false suspicions over time" figure: one
+// process is transiently slowed (not crashed); the time-free detector
+// accumulates false suspicions and then corrects them by flooding the
+// victim's self-refutation, while timer-based detectors hold the mistake
+// until heartbeats outlive their timeouts again.
+func E3Disturbance(opts Options) (*Table, error) {
+	n := 20
+	if opts.Quick {
+		n = 8
+	}
+	f := n / 4
+	const (
+		start   = 30 * time.Second
+		end     = 40 * time.Second
+		horizon = 60 * time.Second
+	)
+	t := &Table{
+		ID:      "E3",
+		Title:   "false suspicions over time around a transient slowdown of one process",
+		Note:    fmt.Sprintf("n=%d; p3 slowed ×3000 during [30s,40s); series sampled every second; reconstructed figure", n),
+		Columns: []string{"t", "async", "heartbeat", "phi-accrual"},
+	}
+	var times []time.Duration
+	for s := 25; s <= 55; s++ {
+		times = append(times, time.Duration(s)*time.Second)
+	}
+	series := make(map[Kind][]int)
+	for _, kind := range []Kind{KindAsync, KindHeartbeat, KindPhi} {
+		cfg := ClusterConfig{
+			Kind: kind, N: n, F: f,
+			Seed: opts.seed(),
+			Delay: netsim.Disturbance{
+				Base:   defaultDelay(),
+				Nodes:  ident.SetOf(3),
+				Start:  start,
+				End:    end,
+				Factor: 3000,
+			},
+		}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E3 %v: %w", kind, err)
+		}
+		c.RunUntil(horizon)
+		series[kind] = qos.FalseSuspicionSeries(c.Log, &qos.GroundTruth{}, times)
+	}
+	for i, at := range times {
+		t.AddRow(fmt.Sprintf("%ds", int(at/time.Second)),
+			strconv.Itoa(series[KindAsync][i]),
+			strconv.Itoa(series[KindHeartbeat][i]),
+			strconv.Itoa(series[KindPhi][i]))
+	}
+	return t, nil
+}
+
+// E4QoS measures the Chen–Toueg–Aguilera QoS triple (mistake rate, mistake
+// duration, query accuracy) for all detectors across increasingly bursty
+// delay distributions, with no crash at all: everything recorded is detector
+// error.
+func E4QoS(opts Options) (*Table, error) {
+	horizon := 120 * time.Second
+	if opts.Quick {
+		horizon = 30 * time.Second
+	}
+	t := &Table{
+		ID:      "E4",
+		Title:   "QoS under delay-distribution sweep (no crashes: all suspicions are mistakes)",
+		Note:    "n=10, f=3; λM = mistakes per pair per second, TM = mean mistake duration, PA = query accuracy",
+		Columns: []string{"delay model", "detector", "mistakes", "λM", "TM", "PA"},
+	}
+	models := []struct {
+		name  string
+		model netsim.DelayModel
+	}{
+		{"constant 1ms", netsim.Constant{D: time.Millisecond}},
+		{"uniform 0.5–5ms", netsim.Uniform{Min: 500 * time.Microsecond, Max: 5 * time.Millisecond}},
+		{"exp mean 2ms", netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 10 * time.Second}},
+		{"pareto α=1 2ms", netsim.Pareto{Scale: 2 * time.Millisecond, Alpha: 1.0, Cap: 30 * time.Second}},
+	}
+	for _, m := range models {
+		for _, kind := range AllKinds() {
+			cfg := ClusterConfig{
+				Kind: kind, N: 10, F: 3,
+				Seed:  opts.seed(),
+				Delay: m.model,
+			}
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E4 %v: %w", kind, err)
+			}
+			c.RunUntil(horizon)
+			truth := &qos.GroundTruth{}
+			mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
+			pa := qos.QueryAccuracy(c.Log, truth, c.Members, horizon)
+			t.AddRow(m.name, kind.String(),
+				strconv.Itoa(mist.Count),
+				fmt.Sprintf("%.5f", mist.Rate),
+				ms(mist.AvgDuration),
+				f3(pa))
+		}
+	}
+	return t, nil
+}
+
+// E5MessageCost counts traffic: the query–response scheme costs two messages
+// per monitored pair per round (query out, response back, both directions of
+// the pair), versus one per pair per Δ for heartbeats — but query messages
+// carry the suspicion state and are therefore larger.
+func E5MessageCost(opts Options) (*Table, error) {
+	horizon := 30 * time.Second
+	if opts.Quick {
+		horizon = 10 * time.Second
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "message cost per process per second vs n",
+		Note:    "stable network, no crashes; bytes measured with the wire codec",
+		Columns: []string{"n", "detector", "msgs/proc/s", "bytes/proc/s"},
+	}
+	ns := []int{4, 8, 16, 32}
+	if opts.Quick {
+		ns = []int{4, 8}
+	}
+	for _, n := range ns {
+		for _, kind := range AllKinds() {
+			cfg := ClusterConfig{
+				Kind: kind, N: n, F: (n - 1) / 3,
+				Seed:       opts.seed(),
+				Delay:      defaultDelay(),
+				CountBytes: true,
+			}
+			if cfg.F < 1 {
+				cfg.F = 1
+			}
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E5 %v: %w", kind, err)
+			}
+			c.RunUntil(horizon)
+			st := c.Net.Stats()
+			secs := horizon.Seconds()
+			t.AddRow(strconv.Itoa(n), kind.String(),
+				fmt.Sprintf("%.1f", float64(st.Sent)/float64(n)/secs),
+				fmt.Sprintf("%.0f", float64(st.Bytes)/float64(n)/secs))
+		}
+	}
+	return t, nil
+}
+
+// E6MPSensitivity probes the paper's behavioral assumption: with the pure
+// protocol (window=0), eventual weak accuracy needs some process whose
+// responses are always winning. The favored process's links are accelerated
+// by a decreasing amount until the bias disappears; the experiment reports
+// whether a never-suspected correct process exists in the tail of the run.
+func E6MPSensitivity(opts Options) (*Table, error) {
+	n, f := 10, 3
+	if opts.Quick {
+		n, f = 6, 2
+	}
+	const (
+		horizon = 60 * time.Second
+		cut     = 30 * time.Second
+	)
+	t := &Table{
+		ID:      "E6",
+		Title:   "sensitivity to the message-pattern assumption (MP)",
+		Note:    "pure protocol (window=0); base delay exp(mean 5ms); 'holds' = some correct process unsuspected after t=30s",
+		Columns: []string{"favored-link delay", "runs where ◇S accuracy holds", "avg never-suspected processes", "favored suspected in tail"},
+	}
+	base := netsim.Exponential{Min: 500 * time.Microsecond, Mean: 5 * time.Millisecond, Cap: time.Second}
+	biases := []struct {
+		name string
+		fast netsim.DelayModel
+	}{
+		{"0.2ms (strong MP)", netsim.Constant{D: 200 * time.Microsecond}},
+		{"2ms (marginal)", netsim.Constant{D: 2 * time.Millisecond}},
+		{"none (MP off)", nil},
+	}
+	for _, b := range biases {
+		holds := 0
+		totalNever := 0
+		favoredTail := 0
+		for r := 0; r < opts.runs(); r++ {
+			var delay netsim.DelayModel = base
+			if b.fast != nil {
+				delay = netsim.Bias{Base: base, Fast: b.fast, Favored: ident.SetOf(0)}
+			}
+			cfg := ClusterConfig{
+				Kind: KindAsync, N: n, F: f,
+				Seed:     opts.seed() + int64(r)*101,
+				Delay:    delay,
+				Window:   time.Nanosecond,
+				Interval: 100 * time.Millisecond,
+			}
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E6: %w", err)
+			}
+			c.RunUntil(horizon)
+
+			suspectedInTail := make(map[ident.ID]bool)
+			for _, e := range c.Log.Events() {
+				if e.Suspected && e.At >= cut {
+					suspectedInTail[e.Subject] = true
+				}
+			}
+			// Also count pairs still suspected at the cut.
+			c.Members.ForEach(func(obs ident.ID) bool {
+				c.Members.ForEach(func(subj ident.ID) bool {
+					if obs != subj && c.Log.SuspectedAt(obs, subj, cut) {
+						suspectedInTail[subj] = true
+					}
+					return true
+				})
+				return true
+			})
+			never := n - len(suspectedInTail)
+			totalNever += never
+			if never > 0 {
+				holds++
+			}
+			if suspectedInTail[0] {
+				favoredTail++
+			}
+		}
+		t.AddRow(b.name,
+			fmt.Sprintf("%d/%d", holds, opts.runs()),
+			fmt.Sprintf("%.1f", float64(totalNever)/float64(opts.runs())),
+			fmt.Sprintf("%d/%d", favoredTail, opts.runs()))
+	}
+	return t, nil
+}
+
+// E8Propagation measures how long a crash takes to become known to *every*
+// correct process (the completeness spread): the time-free detector floods
+// suspicions inside queries, so the spread stays near one query period; with
+// independent heartbeat timers the spread follows the timer skew.
+func E8Propagation(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "suspicion propagation: spread between first and last observer detection",
+		Note:    "crash at t=10.4s; spread = max−min permanent-detection time across observers",
+		Columns: []string{"n", "async spread", "async max", "hb spread", "hb max"},
+	}
+	ns := []int{8, 16, 32}
+	if opts.Quick {
+		ns = []int{8}
+	}
+	for _, n := range ns {
+		f := (n - 1) / 3
+		row := []string{strconv.Itoa(n)}
+		for _, kind := range []Kind{KindAsync, KindHeartbeat} {
+			var spreadSum, maxSum time.Duration
+			for r := 0; r < opts.runs(); r++ {
+				cfg := ClusterConfig{
+					Kind: kind, N: n, F: f,
+					Seed:  opts.seed() + int64(r)*101,
+					Delay: defaultDelay(),
+				}
+				s, _, err := detectionRun(cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
+				if err != nil {
+					return nil, fmt.Errorf("E8 %v: %w", kind, err)
+				}
+				spreadSum += s.Max - s.Min
+				maxSum += s.Max
+			}
+			runs := time.Duration(opts.runs())
+			row = append(row, ms(spreadSum/runs), ms(maxSum/runs))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// A1TagsAblation disables the counter-tag recency guards and replays stale
+// suspicion messages after the system has converged: with the tags, stale
+// information is discarded on arrival; without them, every replayed message
+// resurrects a long-refuted suspicion and the whole network flaps again.
+// The tags are exactly what lets accuracy stabilize in the presence of old
+// messages — the asynchronous model allows arbitrarily delayed deliveries.
+func A1TagsAblation(opts Options) (*Table, error) {
+	n, f := 8, 2
+	const (
+		horizon = 90 * time.Second
+		tailCut = 55 * time.Second
+	)
+	t := &Table{
+		ID:      "A1",
+		Title:   "ablation: counter tags on/off under stale-message replay",
+		Note:    "disturbance of p3 during [20s,25s); ten stale suspicion messages replayed during [60s,65s); tail = [55s,90s]",
+		Columns: []string{"variant", "tail transitions", "suspected pairs at end", "closed mistakes"},
+	}
+	for _, disable := range []bool{false, true} {
+		cfg := ClusterConfig{
+			Kind: KindAsync, N: n, F: f,
+			Seed: opts.seed(),
+			// A constant-delay base keeps the network itself mistake-free,
+			// so every event in the tail is attributable to the replay.
+			Delay: netsim.Disturbance{
+				Base:   netsim.Constant{D: time.Millisecond},
+				Nodes:  ident.SetOf(3),
+				Start:  20 * time.Second,
+				End:    25 * time.Second,
+				Factor: 3000,
+			},
+			Window:      5 * time.Millisecond,
+			Interval:    200 * time.Millisecond,
+			DisableTags: disable,
+		}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("A1: %w", err)
+		}
+		// Replay: an "old" query from p2 still carrying the long-refuted
+		// suspicion ⟨p3, 1⟩ arrives at p5, ten times. Tag 1 is far below
+		// the tags of p3's refutations from the disturbance.
+		stale := core.Query{From: 2, Round: 1, Suspected: []tagset.Entry{{ID: 3, Tag: 1}}}
+		for i := 0; i < 10; i++ {
+			at := 60*time.Second + time.Duration(i)*500*time.Millisecond
+			c.Sim.At(at, func() { c.Inject(5, 2, stale) })
+		}
+		c.RunUntil(horizon)
+		tail := 0
+		for _, e := range c.Log.Events() {
+			if e.At >= tailCut {
+				tail++
+			}
+		}
+		pairs := 0
+		c.Members.ForEach(func(id ident.ID) bool {
+			pairs += c.Detector(id).Suspects().Len()
+			return true
+		})
+		mist := qos.Mistakes(c.Log, &qos.GroundTruth{}, c.Members, horizon)
+		name := "tags on (paper)"
+		if disable {
+			name = "tags off (ablated)"
+		}
+		t.AddRow(name, strconv.Itoa(tail), strconv.Itoa(pairs), strconv.Itoa(mist.Count))
+	}
+	return t, nil
+}
+
+// A2WindowAblation sweeps the extra collection window added after the quorum
+// (the Δ the paper family inserts between lines 7 and 8): longer windows
+// trade detection latency for fewer false suspicions.
+func A2WindowAblation(opts Options) (*Table, error) {
+	n, f := 10, 3
+	const horizon = 50 * time.Second
+	t := &Table{
+		ID:      "A2",
+		Title:   "ablation: response collection window vs detection latency and accuracy",
+		Note:    "n=10, f=3, exp(mean 2ms) delays; crash of p9 at t=20s",
+		Columns: []string{"window", "det avg", "det max", "mistakes/pair/s", "PA"},
+	}
+	windows := []time.Duration{time.Nanosecond, 2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond}
+	if opts.Quick {
+		windows = []time.Duration{time.Nanosecond, 10 * time.Millisecond}
+	}
+	for _, w := range windows {
+		cfg := ClusterConfig{
+			Kind: KindAsync, N: n, F: f,
+			Seed:     opts.seed(),
+			Delay:    netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 500 * time.Millisecond},
+			Window:   w,
+			Interval: 200 * time.Millisecond,
+		}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("A2: %w", err)
+		}
+		truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 20*time.Second))
+		c.RunUntil(horizon)
+		observers := c.Members.Clone()
+		observers.Remove(ident.ID(n - 1))
+		det := qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers)
+		mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
+		pa := qos.QueryAccuracy(c.Log, truth, c.Members, horizon)
+		label := "0"
+		if w > time.Nanosecond {
+			label = ms(w)
+		}
+		t.AddRow(label, ms(det.Avg), ms(det.Max), fmt.Sprintf("%.4f", mist.Rate), f3(pa))
+	}
+	return t, nil
+}

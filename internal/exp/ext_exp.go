@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/faults"
+	"asyncfd/internal/heartbeat"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/qos"
+	"asyncfd/internal/topology"
+	"asyncfd/internal/trace"
+	"asyncfd/internal/unknown"
+)
+
+// gossipCluster wires Friedman–Tcharny-style gossip heartbeat detectors onto
+// a partial topology (the extension's timer-based comparator).
+type gossipCluster struct {
+	sim   *des.Simulator
+	net   *netsim.Network
+	log   *trace.Log
+	nodes []*heartbeat.GossipNode
+}
+
+type gossipCell struct{ g *heartbeat.GossipNode }
+
+func (c *gossipCell) Deliver(from ident.ID, payload any) {
+	if c.g != nil {
+		c.g.Deliver(from, payload)
+	}
+}
+
+func newGossipCluster(g *topology.Graph, seed int64, delay netsim.DelayModel, interval, timeout time.Duration) (*gossipCluster, error) {
+	n := g.Len()
+	c := &gossipCluster{sim: des.New(seed), log: &trace.Log{}}
+	c.net = netsim.New(c.sim, netsim.Config{Delay: delay})
+	c.nodes = make([]*heartbeat.GossipNode, n)
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		cl := &gossipCell{}
+		env := c.net.AddNode(id, cl)
+		gn, err := heartbeat.NewGossipNode(env, heartbeat.GossipConfig{
+			Self: id, N: n, Interval: interval, Timeout: timeout, Sink: c.log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.g = gn
+		c.nodes[i] = gn
+		c.net.SetNeighbors(id, g.Neighbors(id))
+	}
+	for _, gn := range c.nodes {
+		gn.Start()
+	}
+	return c, nil
+}
+
+// X1DensityExt regenerates the shape of the extension report's Figure 2:
+// failure detection time versus range density d on an f-covering partial
+// topology. The timer-based gossip detector sits between Θ−Δ and Θ
+// regardless of d; the asynchronous detector's detection time falls as the
+// density (and hence flooding speed) grows.
+func X1DensityExt(opts Options) (*Table, error) {
+	n := 24
+	ks := []int{2, 3, 4, 5} // circulant chord counts: d = 2k+1
+	if opts.Quick {
+		n = 12
+		ks = []int{2, 3}
+	}
+	const (
+		f       = 2
+		crashAt = 10 * time.Second
+		horizon = 60 * time.Second
+	)
+	t := &Table{
+		ID:    "X1",
+		Title: "EXTENSION: detection time vs range density d (partial topology, unknown membership)",
+		Note: fmt.Sprintf("circulant graphs on n=%d, f=%d, crash at t=10s; gossip-FT uses Δ=1s Θ=4s "+
+			"(multi-hop needs a larger Θ); shape of RR-6088 Fig. 2", n, f),
+		Columns: []string{"d", "async avg", "async max", "gossip-FT avg", "gossip-FT max"},
+	}
+	for _, k := range ks {
+		g := topology.Circulant(n, k)
+		crash := ident.ID(0)
+		observers := ident.FullSet(n)
+		observers.Remove(crash)
+
+		// Asynchronous detector on the unknown network.
+		uc, err := unknown.NewCluster(unknown.ClusterConfig{
+			Graph: g, F: f, Seed: opts.seed(),
+			Delay:    defaultDelay(),
+			Window:   250 * time.Millisecond,
+			Interval: 250 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("X1 async d=%d: %w", 2*k+1, err)
+		}
+		truth := &qos.GroundTruth{}
+		truth.Crash(crash, crashAt)
+		uc.CrashAt(crash, crashAt)
+		uc.RunUntil(horizon)
+		async := qos.DetectionTimes(uc.Log, truth, crash, observers)
+
+		// Gossip heartbeat comparator on the same topology.
+		gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("X1 gossip d=%d: %w", 2*k+1, err)
+		}
+		gtruth := faults.Plan{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
+		gc.sim.RunUntil(horizon)
+		gossip := qos.DetectionTimes(gc.log, gtruth, crash, observers)
+
+		t.AddRow(strconv.Itoa(2*k+1), ms(async.Avg), ms(async.Max), ms(gossip.Avg), ms(gossip.Max))
+	}
+	return t, nil
+}
+
+// X2MobilityExt regenerates the shape of the extension report's Figure 3:
+// the total number of false suspicions over time when a node moves to a
+// different range and reconnects. The asynchronous detector shows the
+// report's signature double wave — the network suspects the mover, then the
+// mover suspects its old neighbors — before mistakes flood and everything
+// converges to zero.
+func X2MobilityExt(opts Options) (*Table, error) {
+	n := 20
+	if opts.Quick {
+		n = 14
+	}
+	const (
+		k       = 3 // d = 7, as in the report's density-7 mobility run
+		f       = 2
+		away    = 30 * time.Second
+		back    = 60 * time.Second
+		horizon = 150 * time.Second
+	)
+	g := topology.Circulant(n, k)
+	// New range on the other side of the ring: d−1 consecutive nodes.
+	var newNeighbors ident.Set
+	for i := 0; i < 2*k; i++ {
+		newNeighbors.Add(ident.ID(n/2 - k + i))
+	}
+
+	uc, err := unknown.NewCluster(unknown.ClusterConfig{
+		Graph: g, F: f, Seed: opts.seed(),
+		Delay:       defaultDelay(),
+		Window:      250 * time.Millisecond,
+		Interval:    250 * time.Millisecond,
+		Rebroadcast: time.Second,
+		Mobility:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("X2 async: %w", err)
+	}
+	uc.RelocateAt(0, newNeighbors, away, back)
+	uc.RunUntil(horizon)
+
+	gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("X2 gossip: %w", err)
+	}
+	// Equivalent move for the gossip cluster via a link filter window.
+	moving := false
+	gc.net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+		if moving && (from == 0 || to == 0) {
+			return false
+		}
+		return true
+	})
+	gc.sim.At(away, func() { moving = true })
+	gc.sim.At(back, func() {
+		moving = false
+		// Reattach at the new position.
+		newNeighbors.ForEach(func(o ident.ID) bool {
+			nb := gc.net.Neighbors(o)
+			nb.Add(0)
+			gc.net.SetNeighbors(o, nb)
+			return true
+		})
+		g.Neighbors(0).ForEach(func(o ident.ID) bool {
+			if !newNeighbors.Has(o) {
+				nb := gc.net.Neighbors(o)
+				nb.Remove(0)
+				gc.net.SetNeighbors(o, nb)
+			}
+			return true
+		})
+		gc.net.SetNeighbors(0, newNeighbors)
+	})
+	gc.sim.RunUntil(horizon)
+
+	var times []time.Duration
+	for s := 25; s <= 145; s += 2 {
+		times = append(times, time.Duration(s)*time.Second)
+	}
+	truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
+	asyncSeries := qos.FalseSuspicionSeries(uc.Log, truth, times)
+	gossipSeries := qos.FalseSuspicionSeries(gc.log, truth, times)
+
+	t := &Table{
+		ID:    "X2",
+		Title: "EXTENSION: total false suspicions over time while a node moves to a new range",
+		Note: fmt.Sprintf("n=%d circulant d=7, f=%d; node p0 detaches at 30s, reattaches across the ring at 60s; "+
+			"shape of RR-6088 Fig. 3", n, f),
+		Columns: []string{"t", "async", "gossip-FT"},
+	}
+	for i, at := range times {
+		t.AddRow(fmt.Sprintf("%ds", int(at/time.Second)),
+			strconv.Itoa(asyncSeries[i]), strconv.Itoa(gossipSeries[i]))
+	}
+	return t, nil
+}

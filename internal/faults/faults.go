@@ -1,0 +1,73 @@
+// Package faults builds crash schedules for simulated runs and applies them
+// to the network while recording the ground truth the QoS metrics are judged
+// against.
+package faults
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/qos"
+)
+
+// Crash is one scheduled crash-stop failure.
+type Crash struct {
+	ID ident.ID
+	At time.Duration
+}
+
+// Plan is an ordered crash schedule.
+type Plan []Crash
+
+// CrashAt appends a crash, returning the extended plan.
+func (p Plan) CrashAt(id ident.ID, at time.Duration) Plan {
+	return append(p, Crash{ID: id, At: at})
+}
+
+// Uniform schedules count crashes of distinct processes drawn from
+// candidates, spread uniformly over [start, end) — the paper family's
+// "faults uniformly inserted during an experiment" setup.
+func Uniform(r *rand.Rand, candidates []ident.ID, count int, start, end time.Duration) Plan {
+	if count > len(candidates) {
+		count = len(candidates)
+	}
+	perm := r.Perm(len(candidates))
+	plan := make(Plan, 0, count)
+	span := end - start
+	for i := 0; i < count; i++ {
+		at := start
+		if count > 1 {
+			at += span * time.Duration(i) / time.Duration(count-1)
+		} else {
+			at += span / 2
+		}
+		plan = append(plan, Crash{ID: candidates[perm[i]], At: at})
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	return plan
+}
+
+// Apply schedules every crash on the simulator against the network and
+// records it in a fresh ground truth.
+func (p Plan) Apply(sim *des.Simulator, net *netsim.Network) *qos.GroundTruth {
+	truth := &qos.GroundTruth{}
+	for _, c := range p {
+		c := c
+		truth.Crash(c.ID, c.At)
+		sim.At(c.At, func() { net.Crash(c.ID) })
+	}
+	return truth
+}
+
+// IDs returns the processes that crash under the plan.
+func (p Plan) IDs() ident.Set {
+	var s ident.Set
+	for _, c := range p {
+		s.Add(c.ID)
+	}
+	return s
+}

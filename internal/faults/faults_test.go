@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/node"
+)
+
+func TestPlanCrashAt(t *testing.T) {
+	p := Plan{}.CrashAt(1, time.Second).CrashAt(2, 2*time.Second)
+	if len(p) != 2 || p[0].ID != 1 || p[1].At != 2*time.Second {
+		t.Errorf("plan = %+v", p)
+	}
+	ids := p.IDs()
+	if !ids.Has(1) || !ids.Has(2) || ids.Len() != 2 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestUniformSpreadsAndDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	candidates := []ident.ID{0, 1, 2, 3, 4, 5, 6, 7}
+	p := Uniform(r, candidates, 5, 10*time.Second, 20*time.Second)
+	if len(p) != 5 {
+		t.Fatalf("len = %d, want 5", len(p))
+	}
+	if p.IDs().Len() != 5 {
+		t.Error("crash ids not distinct")
+	}
+	if p[0].At != 10*time.Second || p[4].At != 20*time.Second {
+		t.Errorf("span = [%v, %v], want [10s, 20s]", p[0].At, p[4].At)
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].At < p[i-1].At {
+			t.Error("plan not sorted by time")
+		}
+	}
+}
+
+func TestUniformCountClamped(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := Uniform(r, []ident.ID{0, 1}, 5, 0, time.Second)
+	if len(p) != 2 {
+		t.Errorf("len = %d, want clamped to 2", len(p))
+	}
+}
+
+func TestUniformSingleCrashCentered(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := Uniform(r, []ident.ID{0, 1, 2}, 1, 10*time.Second, 20*time.Second)
+	if len(p) != 1 || p[0].At != 15*time.Second {
+		t.Errorf("plan = %+v, want single crash at 15s", p)
+	}
+}
+
+func TestApply(t *testing.T) {
+	sim := des.New(1)
+	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{}})
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	net.AddNode(1, node.HandlerFunc(func(ident.ID, any) {}))
+
+	p := Plan{}.CrashAt(1, 5*time.Second)
+	truth := p.Apply(sim, net)
+
+	if at, ok := truth.CrashTime(1); !ok || at != 5*time.Second {
+		t.Errorf("truth = %v,%v", at, ok)
+	}
+	sim.RunUntil(4 * time.Second)
+	if net.Crashed(1) {
+		t.Error("crash applied early")
+	}
+	sim.RunUntil(6 * time.Second)
+	if !net.Crashed(1) {
+		t.Error("crash not applied")
+	}
+	if net.Crashed(0) {
+		t.Error("wrong node crashed")
+	}
+}

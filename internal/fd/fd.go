@@ -1,0 +1,86 @@
+// Package fd defines the common vocabulary of unreliable failure detectors:
+// the output interface every implementation exposes, the Chandra–Toueg class
+// taxonomy, and the sink through which implementations report suspicion
+// transitions to metrics and traces.
+package fd
+
+import (
+	"fmt"
+	"time"
+
+	"asyncfd/internal/ident"
+)
+
+// Detector is the oracle output read by applications (e.g. consensus): the
+// set of processes currently suspected of having crashed. Implementations
+// must make these methods safe for concurrent use.
+type Detector interface {
+	// Suspects returns a snapshot of the currently suspected processes.
+	Suspects() ident.Set
+	// IsSuspected reports whether id is currently suspected.
+	IsSuspected(id ident.ID) bool
+}
+
+// Class names the Chandra–Toueg failure-detector classes relevant here.
+type Class int
+
+const (
+	// ClassP is the perfect detector: strong completeness + strong accuracy.
+	ClassP Class = iota + 1
+	// ClassEventuallyP (◇P): strong completeness + eventual strong accuracy.
+	ClassEventuallyP
+	// ClassS: strong completeness + perpetual weak accuracy.
+	ClassS
+	// ClassEventuallyS (◇S): strong completeness + eventual weak accuracy.
+	// This is the class the paper's protocol implements, and the weakest
+	// class allowing consensus with a correct majority.
+	ClassEventuallyS
+	// ClassOmega (Ω): eventual leader oracle; equivalent to ◇S for
+	// consensus solvability.
+	ClassOmega
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassP:
+		return "P"
+	case ClassEventuallyP:
+		return "◇P"
+	case ClassS:
+		return "S"
+	case ClassEventuallyS:
+		return "◇S"
+	case ClassOmega:
+		return "Ω"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// SuspicionSink receives timestamped suspicion transitions from detector
+// implementations. Implementations of the sink must be safe for concurrent
+// use when driven by the live runtime.
+type SuspicionSink interface {
+	// OnSuspicion records that observer started (suspected=true) or
+	// stopped (suspected=false) suspecting subject at time at.
+	OnSuspicion(at time.Duration, observer, subject ident.ID, suspected bool)
+}
+
+// SinkFunc adapts a function to SuspicionSink.
+type SinkFunc func(at time.Duration, observer, subject ident.ID, suspected bool)
+
+// OnSuspicion implements SuspicionSink.
+func (f SinkFunc) OnSuspicion(at time.Duration, observer, subject ident.ID, suspected bool) {
+	f(at, observer, subject, suspected)
+}
+
+// MultiSink fans a transition out to several sinks.
+type MultiSink []SuspicionSink
+
+// OnSuspicion implements SuspicionSink.
+func (m MultiSink) OnSuspicion(at time.Duration, observer, subject ident.ID, suspected bool) {
+	for _, s := range m {
+		s.OnSuspicion(at, observer, subject, suspected)
+	}
+}

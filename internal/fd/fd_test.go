@@ -1,0 +1,52 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"asyncfd/internal/ident"
+)
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{ClassP, "P"},
+		{ClassEventuallyP, "◇P"},
+		{ClassS, "S"},
+		{ClassEventuallyS, "◇S"},
+		{ClassOmega, "Ω"},
+		{Class(42), "Class(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var gotAt time.Duration
+	var gotObs, gotSubj ident.ID
+	var gotSusp bool
+	s := SinkFunc(func(at time.Duration, observer, subject ident.ID, suspected bool) {
+		gotAt, gotObs, gotSubj, gotSusp = at, observer, subject, suspected
+	})
+	s.OnSuspicion(3*time.Second, 1, 2, true)
+	if gotAt != 3*time.Second || gotObs != 1 || gotSubj != 2 || !gotSusp {
+		t.Errorf("SinkFunc forwarded (%v, %v, %v, %v)", gotAt, gotObs, gotSubj, gotSusp)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	count := 0
+	mk := SinkFunc(func(time.Duration, ident.ID, ident.ID, bool) { count++ })
+	m := MultiSink{mk, mk, mk}
+	m.OnSuspicion(0, 0, 1, true)
+	if count != 3 {
+		t.Errorf("MultiSink fanned out to %d sinks, want 3", count)
+	}
+	var empty MultiSink
+	empty.OnSuspicion(0, 0, 1, false) // must not panic
+}

@@ -1,0 +1,194 @@
+package heartbeat
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// VectorMessage is a gossiped heartbeat vector: entry k is the highest
+// heartbeat counter known to have been emitted by process k.
+type VectorMessage struct {
+	From   ident.ID
+	Vector []uint64
+}
+
+// GossipConfig parameterizes a Friedman–Tcharny-style gossip detector.
+type GossipConfig struct {
+	// Self is this process's identity.
+	Self ident.ID
+	// N is the total number of processes (the vector length); the gossip
+	// variant assumes the number of nodes is known, as in the original.
+	N int
+	// Interval is the gossip period Δ.
+	Interval time.Duration
+	// Timeout is the suspicion timeout Θ: a process whose counter has not
+	// increased for Θ is suspected. Θ must account for multi-hop
+	// propagation.
+	Timeout time.Duration
+	// Sink, if set, receives timestamped suspicion transitions.
+	Sink fd.SuspicionSink
+}
+
+// Validate checks the configuration.
+func (c GossipConfig) Validate() error {
+	if !c.Self.Valid() || int(c.Self) >= c.N {
+		return errors.New("heartbeat: gossip config: Self out of range")
+	}
+	if c.N < 2 {
+		return errors.New("heartbeat: gossip config: N must be ≥ 2")
+	}
+	if c.Interval <= 0 || c.Timeout <= 0 {
+		return errors.New("heartbeat: gossip config: Interval and Timeout must be positive")
+	}
+	return nil
+}
+
+// GossipNode floods heartbeat counters through neighbor broadcasts: every Δ
+// it increments its own vector entry and broadcasts the vector; on reception
+// it merges entry-wise maxima. A peer is suspected when its entry stalls for
+// Θ. Works over partially connected topologies because counters propagate
+// transitively. Safe for concurrent use.
+type GossipNode struct {
+	mu        sync.Mutex
+	env       node.Env
+	cfg       GossipConfig
+	vector    []uint64
+	lastRise  []time.Duration
+	suspected ident.Set
+	stopped   bool
+	beat      node.Timer
+}
+
+var _ node.Handler = (*GossipNode)(nil)
+var _ fd.Detector = (*GossipNode)(nil)
+
+// NewGossipNode builds a gossip heartbeat detector on env.
+func NewGossipNode(env node.Env, cfg GossipConfig) (*GossipNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GossipNode{
+		env:      env,
+		cfg:      cfg,
+		vector:   make([]uint64, cfg.N),
+		lastRise: make([]time.Duration, cfg.N),
+	}, nil
+}
+
+// Start begins gossiping. The start instant counts as the last sighting of
+// every process.
+func (g *GossipNode) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.env.Now()
+	for i := range g.lastRise {
+		g.lastRise[i] = now
+	}
+	g.tickLocked()
+}
+
+// Stop halts gossiping and suspicion checks.
+func (g *GossipNode) Stop() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stopped = true
+	if g.beat != nil {
+		g.beat.Stop()
+	}
+}
+
+func (g *GossipNode) tickLocked() {
+	if g.stopped {
+		return
+	}
+	g.vector[g.cfg.Self]++
+	g.lastRise[g.cfg.Self] = g.env.Now()
+	out := make([]uint64, len(g.vector))
+	copy(out, g.vector)
+	g.env.Broadcast(VectorMessage{From: g.cfg.Self, Vector: out})
+	g.scanLocked()
+	g.beat = g.env.After(g.cfg.Interval, func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.tickLocked()
+	})
+}
+
+// scanLocked applies the timeout rule to every entry.
+func (g *GossipNode) scanLocked() {
+	now := g.env.Now()
+	for i := range g.vector {
+		id := ident.ID(i)
+		if id == g.cfg.Self {
+			continue
+		}
+		stale := now-g.lastRise[i] > g.cfg.Timeout
+		if stale && !g.suspected.Has(id) {
+			g.suspected.Add(id)
+			g.emitLocked(id, true)
+		}
+	}
+}
+
+// Deliver implements node.Handler: entry-wise max merge; a rising entry is a
+// fresh sighting of that process.
+func (g *GossipNode) Deliver(_ ident.ID, payload any) {
+	m, ok := payload.(VectorMessage)
+	if !ok {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stopped {
+		return
+	}
+	now := g.env.Now()
+	for i, v := range m.Vector {
+		if i >= len(g.vector) {
+			break
+		}
+		if v > g.vector[i] {
+			g.vector[i] = v
+			g.lastRise[i] = now
+			id := ident.ID(i)
+			if g.suspected.Has(id) {
+				g.suspected.Remove(id)
+				g.emitLocked(id, false)
+			}
+		}
+	}
+}
+
+func (g *GossipNode) emitLocked(subject ident.ID, suspected bool) {
+	if g.cfg.Sink != nil {
+		g.cfg.Sink.OnSuspicion(g.env.Now(), g.cfg.Self, subject, suspected)
+	}
+}
+
+// Suspects implements fd.Detector.
+func (g *GossipNode) Suspects() ident.Set {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.suspected.Clone()
+}
+
+// IsSuspected implements fd.Detector.
+func (g *GossipNode) IsSuspected(id ident.ID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.suspected.Has(id)
+}
+
+// Vector returns a copy of the current heartbeat vector (tests/diagnostics).
+func (g *GossipNode) Vector() []uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]uint64, len(g.vector))
+	copy(out, g.vector)
+	return out
+}

@@ -1,0 +1,180 @@
+// Package heartbeat implements the classical timer-based unreliable failure
+// detector that the paper argues against: every process broadcasts a
+// heartbeat every Δ; a monitor suspects a peer when no heartbeat arrives for
+// Θ, and revokes the suspicion when one finally does.
+//
+// Two variants are provided:
+//
+//   - Node: the direct all-to-all detector for fully connected systems
+//     (Chandra–Toueg-style, the default comparator in experiments E1–E7).
+//   - GossipNode: the Friedman–Tcharny-style vector detector for partially
+//     connected systems — heartbeat counters are flooded through neighbor
+//     broadcasts, so liveness information crosses multiple hops (used by the
+//     extension experiments X1/X2).
+//
+// Both variants need the timing assumption the time-free detector avoids: Θ
+// must dominate the (unknown) end-to-end delay, or false suspicions never
+// stop.
+package heartbeat
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// Message is a direct heartbeat.
+type Message struct {
+	From ident.ID
+	Seq  uint64
+}
+
+// Config parameterizes a direct heartbeat detector.
+type Config struct {
+	// Self is this process's identity.
+	Self ident.ID
+	// Peers are the monitored processes (Self is ignored if present).
+	Peers ident.Set
+	// Interval is the heartbeat period Δ.
+	Interval time.Duration
+	// Timeout is the suspicion timeout Θ (counted from the last heartbeat).
+	Timeout time.Duration
+	// Sink, if set, receives timestamped suspicion transitions.
+	Sink fd.SuspicionSink
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !c.Self.Valid() {
+		return errors.New("heartbeat: config: Self must be valid")
+	}
+	if c.Interval <= 0 {
+		return errors.New("heartbeat: config: Interval must be positive")
+	}
+	if c.Timeout <= 0 {
+		return errors.New("heartbeat: config: Timeout must be positive")
+	}
+	return nil
+}
+
+// Node is the direct all-to-all heartbeat detector. It is safe for
+// concurrent use.
+type Node struct {
+	mu        sync.Mutex
+	env       node.Env
+	cfg       Config
+	seq       uint64
+	suspected ident.Set
+	expiry    map[ident.ID]node.Timer
+	stopped   bool
+	beat      node.Timer
+}
+
+var _ node.Handler = (*Node)(nil)
+var _ fd.Detector = (*Node)(nil)
+
+// NewNode builds a direct heartbeat detector on env.
+func NewNode(env node.Env, cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Peers = cfg.Peers.Clone()
+	cfg.Peers.Remove(cfg.Self)
+	return &Node{env: env, cfg: cfg, expiry: make(map[ident.ID]node.Timer)}, nil
+}
+
+// Start begins heartbeating and arms the initial timeout for every peer (the
+// start of monitoring counts as the last sighting, avoiding instant
+// suspicions).
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Peers.ForEach(func(p ident.ID) bool {
+		n.armLocked(p)
+		return true
+	})
+	n.tickLocked()
+}
+
+// Stop halts heartbeating and suspicion timers.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.beat != nil {
+		n.beat.Stop()
+	}
+	for _, t := range n.expiry {
+		t.Stop()
+	}
+}
+
+func (n *Node) tickLocked() {
+	if n.stopped {
+		return
+	}
+	n.seq++
+	n.env.Broadcast(Message{From: n.env.Self(), Seq: n.seq})
+	n.beat = n.env.After(n.cfg.Interval, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.tickLocked()
+	})
+}
+
+// armLocked (re)arms the expiry timer for peer p.
+func (n *Node) armLocked(p ident.ID) {
+	if t, ok := n.expiry[p]; ok {
+		t.Stop()
+	}
+	n.expiry[p] = n.env.After(n.cfg.Timeout, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped || n.suspected.Has(p) {
+			return
+		}
+		n.suspected.Add(p)
+		n.emitLocked(p, true)
+	})
+}
+
+// Deliver implements node.Handler.
+func (n *Node) Deliver(from ident.ID, payload any) {
+	if _, ok := payload.(Message); !ok {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped || !n.cfg.Peers.Has(from) {
+		return
+	}
+	if n.suspected.Has(from) {
+		n.suspected.Remove(from)
+		n.emitLocked(from, false)
+	}
+	n.armLocked(from)
+}
+
+func (n *Node) emitLocked(subject ident.ID, suspected bool) {
+	if n.cfg.Sink != nil {
+		n.cfg.Sink.OnSuspicion(n.env.Now(), n.env.Self(), subject, suspected)
+	}
+}
+
+// Suspects implements fd.Detector.
+func (n *Node) Suspects() ident.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.suspected.Clone()
+}
+
+// IsSuspected implements fd.Detector.
+func (n *Node) IsSuspected(id ident.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.suspected.Has(id)
+}

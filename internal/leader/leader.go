@@ -1,0 +1,40 @@
+// Package leader derives an eventual leader oracle (class Ω) from any ◇S
+// failure detector: every process elects the smallest-id member it does not
+// currently suspect. Once the underlying detector reaches its eventual weak
+// accuracy (some correct process is never suspected again), all correct
+// processes eventually and permanently agree on a correct leader — Ω is the
+// weakest failure detector for consensus, so this tiny adapter closes the
+// loop between the paper's detector and the leader-based literature.
+package leader
+
+import (
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+)
+
+// Oracle is an Ω oracle view derived from one process's detector.
+type Oracle struct {
+	det     fd.Detector
+	members ident.Set
+}
+
+// New builds an oracle over the given membership.
+func New(det fd.Detector, members ident.Set) *Oracle {
+	return &Oracle{det: det, members: members.Clone()}
+}
+
+// Leader returns the smallest member not currently suspected, or ident.Nil
+// when every member is suspected (transient; cannot persist under ◇S, which
+// keeps at least one correct process eventually unsuspected).
+func (o *Oracle) Leader() ident.ID {
+	suspects := o.det.Suspects()
+	leader := ident.Nil
+	o.members.ForEach(func(id ident.ID) bool {
+		if !suspects.Has(id) {
+			leader = id
+			return false
+		}
+		return true
+	})
+	return leader
+}

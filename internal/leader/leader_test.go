@@ -1,0 +1,68 @@
+package leader
+
+import (
+	"testing"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+)
+
+type fakeFD struct{ set ident.Set }
+
+func (f *fakeFD) Suspects() ident.Set          { return f.set.Clone() }
+func (f *fakeFD) IsSuspected(id ident.ID) bool { return f.set.Has(id) }
+
+var _ fd.Detector = (*fakeFD)(nil)
+
+func TestLeaderSmallestUnsuspected(t *testing.T) {
+	det := &fakeFD{}
+	o := New(det, ident.FullSet(4))
+	if got := o.Leader(); got != 0 {
+		t.Errorf("Leader = %v, want p0", got)
+	}
+	det.set = ident.SetOf(0, 1)
+	if got := o.Leader(); got != 2 {
+		t.Errorf("Leader = %v, want p2", got)
+	}
+}
+
+func TestLeaderAllSuspected(t *testing.T) {
+	det := &fakeFD{set: ident.FullSet(3)}
+	o := New(det, ident.FullSet(3))
+	if got := o.Leader(); got != ident.Nil {
+		t.Errorf("Leader = %v, want Nil", got)
+	}
+}
+
+func TestLeaderDemotionAndRecovery(t *testing.T) {
+	det := &fakeFD{}
+	o := New(det, ident.SetOf(1, 3, 5))
+	if got := o.Leader(); got != 1 {
+		t.Errorf("Leader = %v, want p1", got)
+	}
+	det.set = ident.SetOf(1)
+	if got := o.Leader(); got != 3 {
+		t.Errorf("Leader = %v, want p3 after demotion", got)
+	}
+	det.set = ident.Set{}
+	if got := o.Leader(); got != 1 {
+		t.Errorf("Leader = %v, want p1 restored", got)
+	}
+}
+
+func TestLeaderIgnoresNonMembers(t *testing.T) {
+	det := &fakeFD{}
+	o := New(det, ident.SetOf(2, 4))
+	if got := o.Leader(); got != 2 {
+		t.Errorf("Leader = %v, want p2 (p0 is not a member)", got)
+	}
+}
+
+func TestMembershipIsolatedFromCaller(t *testing.T) {
+	members := ident.SetOf(0, 1)
+	o := New(&fakeFD{}, members)
+	members.Remove(0)
+	if got := o.Leader(); got != 0 {
+		t.Errorf("Leader = %v; oracle must copy the membership", got)
+	}
+}

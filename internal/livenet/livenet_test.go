@@ -1,0 +1,217 @@
+package livenet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncfd/internal/core"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+	"asyncfd/internal/trace"
+)
+
+func TestDelivery(t *testing.T) {
+	n := New(Config{MinDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond})
+	defer n.Close()
+
+	var mu sync.Mutex
+	var got []any
+	done := make(chan struct{}, 1)
+	n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	n.AddNode(1, node.HandlerFunc(func(from ident.ID, payload any) {
+		mu.Lock()
+		got = append(got, payload)
+		mu.Unlock()
+		select {
+		case done <- struct{}{}:
+		default:
+		}
+	}))
+	n.nodes[0].Send(1, "hello")
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery timed out")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != "hello" {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestBroadcastAndCrash(t *testing.T) {
+	n := New(Config{MinDelay: 100 * time.Microsecond, MaxDelay: 500 * time.Microsecond})
+	defer n.Close()
+
+	var count0, count2 atomic.Int64
+	n.AddNode(0, node.HandlerFunc(func(ident.ID, any) { count0.Add(1) }))
+	env1 := n.AddNode(1, node.HandlerFunc(func(ident.ID, any) {}))
+	n.AddNode(2, node.HandlerFunc(func(ident.ID, any) { count2.Add(1) }))
+
+	n.Crash(2)
+	env1.Broadcast("x")
+	time.Sleep(50 * time.Millisecond)
+	if count0.Load() != 1 {
+		t.Errorf("node 0 received %d, want 1", count0.Load())
+	}
+	if count2.Load() != 0 {
+		t.Error("crashed node received a broadcast")
+	}
+	if !n.Crashed(2) || n.Crashed(0) {
+		t.Error("Crashed bookkeeping wrong")
+	}
+}
+
+func TestTimerStopAndFire(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	env := n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+
+	var fired atomic.Bool
+	tm := env.After(time.Millisecond, func() { fired.Store(true) })
+	time.Sleep(20 * time.Millisecond)
+	if !fired.Load() {
+		t.Error("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire = true")
+	}
+
+	var fired2 atomic.Bool
+	tm2 := env.After(50*time.Millisecond, func() { fired2.Store(true) })
+	if !tm2.Stop() {
+		t.Error("Stop pending = false")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired2.Load() {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestCloseCancelsTimers(t *testing.T) {
+	n := New(Config{})
+	env := n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	var fired atomic.Bool
+	env.After(100*time.Millisecond, func() { fired.Store(true) })
+	n.Close() // must not hang waiting for the 100ms timer
+	time.Sleep(150 * time.Millisecond)
+	if fired.Load() {
+		t.Error("timer fired after Close")
+	}
+	n.Close() // idempotent
+	if env.After(time.Millisecond, func() {}).Stop() {
+		t.Error("After on closed network returned a live timer")
+	}
+}
+
+func TestCrashedTimersSuppressed(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	env := n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	var fired atomic.Bool
+	env.After(5*time.Millisecond, func() { fired.Store(true) })
+	n.Crash(0)
+	time.Sleep(30 * time.Millisecond)
+	if fired.Load() {
+		t.Error("crashed node's timer fired")
+	}
+}
+
+func TestEnvBasics(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	env := n.AddNode(7, node.HandlerFunc(func(ident.ID, any) {}))
+	if env.Self() != 7 {
+		t.Error("Self wrong")
+	}
+	if env.Now() < 0 {
+		t.Error("Now negative")
+	}
+	env.Send(7, "self") // ignored
+	env.Send(99, "ghost")
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode did not panic")
+		}
+	}()
+	n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+}
+
+// TestLiveFDCluster runs the actual time-free detector on the goroutine
+// runtime: 4 processes, one crashes, survivors must suspect it and only it.
+func TestLiveFDCluster(t *testing.T) {
+	net := New(Config{MinDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond, Seed: 5})
+	defer net.Close()
+	log := &trace.Log{}
+
+	const n, f = 4, 1
+	nodes := make([]*core.Node, n)
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		cell := &handlerCell{}
+		env := net.AddNode(id, cell)
+		nd, err := core.NewNode(env, core.NodeConfig{
+			Detector: core.Config{Self: id, N: n, F: f},
+			Window:   10 * time.Millisecond,
+			Interval: 20 * time.Millisecond,
+			Sink:     log,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell.n = nd
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	time.Sleep(300 * time.Millisecond) // steady state
+	net.Crash(3)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		allSuspect := true
+		for i := 0; i < 3; i++ {
+			if !nodes[i].IsSuspected(3) {
+				allSuspect = false
+			}
+		}
+		if allSuspect {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors did not suspect the crashed process; log:\n%s", log)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// No survivor may (still) suspect another survivor at the end.
+	time.Sleep(200 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		s := nodes[i].Suspects()
+		s.Remove(3)
+		if !s.Empty() {
+			t.Errorf("node %d wrongly suspects %v", i, s)
+		}
+	}
+	for _, nd := range nodes {
+		nd.Stop()
+	}
+}
+
+type handlerCell struct{ n *core.Node }
+
+func (c *handlerCell) Deliver(from ident.ID, payload any) {
+	if c.n != nil {
+		c.n.Deliver(from, payload)
+	}
+}

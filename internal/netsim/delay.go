@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"asyncfd/internal/ident"
+)
+
+// DelayModel samples the one-way latency of a message. Implementations must
+// be pure functions of their arguments and the supplied random source so
+// that simulations stay reproducible.
+type DelayModel interface {
+	Delay(r *rand.Rand, from, to ident.ID, now time.Duration) time.Duration
+}
+
+// Constant delays every message by exactly D.
+type Constant struct {
+	D time.Duration
+}
+
+// Delay implements DelayModel.
+func (c Constant) Delay(*rand.Rand, ident.ID, ident.ID, time.Duration) time.Duration { return c.D }
+
+// Uniform draws delays uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Delay implements DelayModel.
+func (u Uniform) Delay(r *rand.Rand, _, _ ident.ID, _ time.Duration) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Exponential draws delays as Min + Exp(Mean). The exponential tail models
+// congested asynchronous links; Cap (if positive) truncates pathological
+// samples to keep virtual runs finite.
+type Exponential struct {
+	Min  time.Duration
+	Mean time.Duration // mean of the exponential part
+	Cap  time.Duration // 0 = uncapped
+}
+
+// Delay implements DelayModel.
+func (e Exponential) Delay(r *rand.Rand, _, _ ident.ID, _ time.Duration) time.Duration {
+	d := e.Min + time.Duration(r.ExpFloat64()*float64(e.Mean))
+	if e.Cap > 0 && d > e.Cap {
+		return e.Cap
+	}
+	return d
+}
+
+// Pareto draws delays as Scale·U^(-1/Alpha): a heavy tail that violates any
+// fixed timeout with constant probability — the adversarial regime for
+// timer-based detectors.
+type Pareto struct {
+	Scale time.Duration // minimum delay (x_m)
+	Alpha float64       // tail index; smaller = heavier tail
+	Cap   time.Duration // 0 = uncapped
+}
+
+// Delay implements DelayModel.
+func (p Pareto) Delay(r *rand.Rand, _, _ ident.ID, _ time.Duration) time.Duration {
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := time.Duration(float64(p.Scale) * math.Pow(u, -1/alpha))
+	if p.Cap > 0 && d > p.Cap {
+		return p.Cap
+	}
+	return d
+}
+
+// Bias makes every message touching a Favored process (sent by it or to it)
+// travel with the Fast model instead of Base. Favoring one correct process
+// realizes the paper's behavioral assumption: queries reach it quickly and
+// its responses arrive among the first n−f ("winning responses") at every
+// querier, eventually and forever. The responsiveness property is about the
+// whole query→response round trip, which is why both directions are
+// accelerated. Remove the bias and the assumption may not hold — experiment
+// E6 measures exactly that.
+type Bias struct {
+	Base    DelayModel
+	Fast    DelayModel
+	Favored ident.Set
+}
+
+// Delay implements DelayModel.
+func (b Bias) Delay(r *rand.Rand, from, to ident.ID, now time.Duration) time.Duration {
+	if b.Favored.Has(from) || b.Favored.Has(to) {
+		return b.Fast.Delay(r, from, to, now)
+	}
+	return b.Base.Delay(r, from, to, now)
+}
+
+// Disturbance multiplies delays touching Nodes by Factor during
+// [Start, End). It models a transient slowdown (GC pause, route flap,
+// overloaded host) — the scenario where a failure detector makes mistakes
+// and must correct them.
+type Disturbance struct {
+	Base       DelayModel
+	Nodes      ident.Set
+	Start, End time.Duration
+	Factor     float64
+}
+
+// Delay implements DelayModel.
+func (d Disturbance) Delay(r *rand.Rand, from, to ident.ID, now time.Duration) time.Duration {
+	base := d.Base.Delay(r, from, to, now)
+	if now >= d.Start && now < d.End && (d.Nodes.Has(from) || d.Nodes.Has(to)) {
+		return time.Duration(float64(base) * d.Factor)
+	}
+	return base
+}
+
+// Compile-time interface checks.
+var (
+	_ DelayModel = Constant{}
+	_ DelayModel = Uniform{}
+	_ DelayModel = Exponential{}
+	_ DelayModel = Pareto{}
+	_ DelayModel = Bias{}
+	_ DelayModel = Disturbance{}
+)

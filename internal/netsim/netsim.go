@@ -1,0 +1,203 @@
+// Package netsim simulates an asynchronous message-passing network on the
+// discrete-event kernel. Message delays are drawn per message from a
+// pluggable DelayModel, so messages are arbitrarily reordered — exactly the
+// asynchronous model of the paper. Links are reliable by default (the
+// paper's assumption); a drop rate and a link filter are available for the
+// extension experiments (partial connectivity, mobility).
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Delay is the latency model; required.
+	Delay DelayModel
+	// DropRate is the probability a message is lost (0 = reliable links,
+	// the paper's model).
+	DropRate float64
+	// SizeOf, if set, returns the wire size of a payload for byte
+	// accounting in Stats.
+	SizeOf func(payload any) int
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Sent      int64 // messages handed to the network
+	Delivered int64 // messages delivered to a live process
+	Dropped   int64 // lost to DropRate or the link filter
+	Bytes     int64 // wire bytes sent (only if Config.SizeOf set)
+}
+
+// Network is the simulated medium. All methods must be called from the
+// simulation goroutine (i.e., inside DES events or before the run starts).
+type Network struct {
+	sim      *des.Simulator
+	cfg      Config
+	handlers map[ident.ID]node.Handler
+	crashed  ident.Set
+	// neighbors, when non-nil for an id, restricts that id's broadcasts
+	// and sends to the given set (extension topologies). nil = full mesh.
+	neighbors map[ident.ID]ident.Set
+	// filter, when set, can veto any (from, to) transmission at send time.
+	filter func(from, to ident.ID, now time.Duration) bool
+	stats  Stats
+}
+
+// New builds a network on sim.
+func New(sim *des.Simulator, cfg Config) *Network {
+	if cfg.Delay == nil {
+		panic("netsim: Config.Delay is required")
+	}
+	return &Network{
+		sim:      sim,
+		cfg:      cfg,
+		handlers: make(map[ident.ID]node.Handler),
+	}
+}
+
+// AddNode registers a process and returns its environment. Registering the
+// same id twice panics: it is a programming error in experiment setup.
+func (n *Network) AddNode(id ident.ID, h node.Handler) *Env {
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %v", id))
+	}
+	n.handlers[id] = h
+	return &Env{net: n, id: id}
+}
+
+// Env returns the environment bound to id (which must be registered).
+func (n *Network) Env(id ident.ID) *Env {
+	if _, ok := n.handlers[id]; !ok {
+		panic(fmt.Sprintf("netsim: unknown node %v", id))
+	}
+	return &Env{net: n, id: id}
+}
+
+// Nodes returns the registered process identities.
+func (n *Network) Nodes() ident.Set {
+	var s ident.Set
+	for id := range n.handlers {
+		s.Add(id)
+	}
+	return s
+}
+
+// Crash marks id as crashed: it stops sending, receiving and firing timers,
+// permanently (crash-stop model).
+func (n *Network) Crash(id ident.ID) { n.crashed.Add(id) }
+
+// Crashed reports whether id has crashed.
+func (n *Network) Crashed(id ident.ID) bool { return n.crashed.Has(id) }
+
+// SetNeighbors restricts id's outgoing traffic to the given set (used by the
+// partial-connectivity extension). It does not make links symmetric; callers
+// model radio ranges by setting both directions.
+func (n *Network) SetNeighbors(id ident.ID, neighbors ident.Set) {
+	if n.neighbors == nil {
+		n.neighbors = make(map[ident.ID]ident.Set)
+	}
+	n.neighbors[id] = neighbors.Clone()
+}
+
+// Neighbors returns the broadcast set for id: its configured neighborhood,
+// or every other registered node in the default full mesh.
+func (n *Network) Neighbors(id ident.ID) ident.Set {
+	if nb, ok := n.neighbors[id]; ok {
+		out := nb.Clone()
+		out.Remove(id)
+		return out
+	}
+	out := n.Nodes()
+	out.Remove(id)
+	return out
+}
+
+// SetLinkFilter installs a transmission veto evaluated at send time. Return
+// false to drop the message. Used to model disconnection and mobility.
+func (n *Network) SetLinkFilter(f func(from, to ident.ID, now time.Duration) bool) {
+	n.filter = f
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// send is the single transmission path. When a neighborhood is configured
+// for the sender, point-to-point sends outside it are dropped too: in the
+// radio model a node can only talk to processes within its range.
+func (n *Network) send(from, to ident.ID, payload any) {
+	if n.crashed.Has(from) || from == to {
+		return
+	}
+	if nb, ok := n.neighbors[from]; ok && !nb.Has(to) {
+		return
+	}
+	now := n.sim.Now()
+	n.stats.Sent++
+	if n.cfg.SizeOf != nil {
+		n.stats.Bytes += int64(n.cfg.SizeOf(payload))
+	}
+	if n.filter != nil && !n.filter(from, to, now) {
+		n.stats.Dropped++
+		return
+	}
+	if n.cfg.DropRate > 0 && n.sim.Rand().Float64() < n.cfg.DropRate {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.cfg.Delay.Delay(n.sim.Rand(), from, to, now)
+	n.sim.After(delay, func() {
+		if n.crashed.Has(to) {
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			return
+		}
+		n.stats.Delivered++
+		h.Deliver(from, payload)
+	})
+}
+
+// Env binds one process identity to the network; it implements node.Env.
+type Env struct {
+	net *Network
+	id  ident.ID
+}
+
+var _ node.Env = (*Env)(nil)
+
+// Self implements node.Env.
+func (e *Env) Self() ident.ID { return e.id }
+
+// Now implements node.Env.
+func (e *Env) Now() time.Duration { return e.net.sim.Now() }
+
+// After implements node.Env. The callback is suppressed if the process has
+// crashed by the time it fires.
+func (e *Env) After(d time.Duration, fn func()) node.Timer {
+	return e.net.sim.After(d, func() {
+		if e.net.crashed.Has(e.id) {
+			return
+		}
+		fn()
+	})
+}
+
+// Send implements node.Env.
+func (e *Env) Send(to ident.ID, payload any) { e.net.send(e.id, to, payload) }
+
+// Broadcast implements node.Env: one message per neighbor, each with an
+// independent delay (models per-link radio/unicast fan-out).
+func (e *Env) Broadcast(payload any) {
+	e.net.Neighbors(e.id).ForEach(func(to ident.ID) bool {
+		e.net.send(e.id, to, payload)
+		return true
+	})
+}

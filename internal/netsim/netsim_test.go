@@ -1,0 +1,397 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+type inbox struct {
+	got []struct {
+		from    ident.ID
+		payload any
+		at      time.Duration
+	}
+	sim *des.Simulator
+}
+
+func (ib *inbox) Deliver(from ident.ID, payload any) {
+	ib.got = append(ib.got, struct {
+		from    ident.ID
+		payload any
+		at      time.Duration
+	}{from, payload, ib.sim.Now()})
+}
+
+func newNet(t *testing.T, seed int64, n int, model DelayModel) (*des.Simulator, *Network, []*inbox, []*Env) {
+	t.Helper()
+	sim := des.New(seed)
+	net := New(sim, Config{Delay: model})
+	boxes := make([]*inbox, n)
+	envs := make([]*Env, n)
+	for i := 0; i < n; i++ {
+		boxes[i] = &inbox{sim: sim}
+		envs[i] = net.AddNode(ident.ID(i), boxes[i])
+	}
+	return sim, net, boxes, envs
+}
+
+func TestSendDelivers(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 2, Constant{D: 3 * time.Millisecond})
+	envs[0].Send(1, "hello")
+	sim.Run()
+	if len(boxes[1].got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(boxes[1].got))
+	}
+	m := boxes[1].got[0]
+	if m.from != 0 || m.payload != "hello" || m.at != 3*time.Millisecond {
+		t.Errorf("delivery = %+v", m)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelfSendIgnored(t *testing.T) {
+	sim, _, boxes, envs := newNet(t, 1, 2, Constant{})
+	envs[0].Send(0, "loop")
+	sim.Run()
+	if len(boxes[0].got) != 0 {
+		t.Error("self-send delivered")
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	sim, _, boxes, envs := newNet(t, 1, 4, Constant{D: time.Millisecond})
+	envs[2].Broadcast("q")
+	sim.Run()
+	for i, ib := range boxes {
+		want := 1
+		if i == 2 {
+			want = 0
+		}
+		if len(ib.got) != want {
+			t.Errorf("node %d got %d messages, want %d", i, len(ib.got), want)
+		}
+	}
+}
+
+func TestCrashStopsEverything(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 3, Constant{D: time.Millisecond})
+	fired := false
+	envs[1].After(5*time.Millisecond, func() { fired = true })
+
+	sim.After(0, func() {
+		net.Crash(1)
+		envs[0].Send(1, "to-crashed") // delivery suppressed
+		envs[1].Send(0, "from-crashed")
+		envs[1].Broadcast("bcast-from-crashed")
+	})
+	sim.Run()
+	if len(boxes[1].got) != 0 {
+		t.Error("crashed node received a message")
+	}
+	if len(boxes[0].got) != 0 || len(boxes[2].got) != 0 {
+		t.Error("crashed node's messages were sent")
+	}
+	if fired {
+		t.Error("crashed node's timer fired")
+	}
+	if !net.Crashed(1) || net.Crashed(0) {
+		t.Error("Crashed() bookkeeping wrong")
+	}
+}
+
+func TestCrashMidFlight(t *testing.T) {
+	// A message already in flight to a node that crashes before delivery is
+	// not delivered (the process stopped executing).
+	sim, net, boxes, envs := newNet(t, 1, 2, Constant{D: 10 * time.Millisecond})
+	envs[0].Send(1, "late")
+	sim.After(time.Millisecond, func() { net.Crash(1) })
+	sim.Run()
+	if len(boxes[1].got) != 0 {
+		t.Error("message delivered to node that crashed before arrival")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	sim := des.New(7)
+	net := New(sim, Config{Delay: Constant{}, DropRate: 0.5})
+	ib := &inbox{sim: sim}
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	net.AddNode(1, ib)
+	env := net.Env(0)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		env.Send(1, i)
+	}
+	sim.Run()
+	st := net.Stats()
+	if st.Dropped == 0 || st.Delivered == 0 {
+		t.Fatalf("stats = %+v, want both drops and deliveries", st)
+	}
+	ratio := float64(st.Dropped) / float64(total)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("drop ratio = %.3f, want ≈0.5", ratio)
+	}
+}
+
+func TestLinkFilter(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 3, Constant{})
+	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+		return !(from == 0 && to == 2) // sever 0→2 only
+	})
+	envs[0].Send(1, "a")
+	envs[0].Send(2, "b")
+	sim.Run()
+	if len(boxes[1].got) != 1 {
+		t.Error("allowed link blocked")
+	}
+	if len(boxes[2].got) != 0 {
+		t.Error("filtered link delivered")
+	}
+	if net.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", net.Stats().Dropped)
+	}
+}
+
+func TestNeighborsRestrictBroadcast(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 4, Constant{})
+	net.SetNeighbors(0, ident.SetOf(1, 2))
+	envs[0].Broadcast("q")
+	sim.Run()
+	if len(boxes[1].got) != 1 || len(boxes[2].got) != 1 {
+		t.Error("neighbors did not receive broadcast")
+	}
+	if len(boxes[3].got) != 0 {
+		t.Error("non-neighbor received broadcast")
+	}
+}
+
+func TestNeighborsExcludeSelf(t *testing.T) {
+	sim, _, boxes, envs := newNet(t, 1, 3, Constant{})
+	// A neighborhood set that (incorrectly) includes self must not cause
+	// self-delivery: ranges include self in the paper's definition.
+	envs[0].net.SetNeighbors(0, ident.SetOf(0, 1))
+	envs[0].Broadcast("q")
+	sim.Run()
+	if len(boxes[0].got) != 0 {
+		t.Error("self received own broadcast")
+	}
+	if len(boxes[1].got) != 1 {
+		t.Error("neighbor missing broadcast")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	sim := des.New(1)
+	net := New(sim, Config{Delay: Constant{}, SizeOf: func(p any) int { return len(p.(string)) }})
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	net.AddNode(1, node.HandlerFunc(func(ident.ID, any) {}))
+	net.Env(0).Send(1, "12345")
+	sim.Run()
+	if net.Stats().Bytes != 5 {
+		t.Errorf("Bytes = %d, want 5", net.Stats().Bytes)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	sim := des.New(1)
+	net := New(sim, Config{Delay: Constant{}})
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode did not panic")
+		}
+	}()
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+}
+
+func TestMissingDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without Delay did not panic")
+		}
+	}()
+	New(des.New(1), Config{})
+}
+
+func TestUnknownEnvPanics(t *testing.T) {
+	sim := des.New(1)
+	net := New(sim, Config{Delay: Constant{}})
+	defer func() {
+		if recover() == nil {
+			t.Error("Env of unknown node did not panic")
+		}
+	}()
+	net.Env(3)
+}
+
+func TestEnvAfterTimerStop(t *testing.T) {
+	sim, _, _, envs := newNet(t, 1, 2, Constant{})
+	fired := false
+	tm := envs[0].After(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop = false on pending timer")
+	}
+	sim.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+// --- Delay model tests ---
+
+func TestConstantDelay(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := Constant{D: 5 * time.Millisecond}
+	if c.Delay(r, 0, 1, 0) != 5*time.Millisecond {
+		t.Error("Constant delay wrong")
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Delay(r, 0, 1, 0)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("Uniform sample %v outside [%v,%v]", d, u.Min, u.Max)
+		}
+	}
+	degenerate := Uniform{Min: time.Second, Max: time.Second}
+	if degenerate.Delay(r, 0, 1, 0) != time.Second {
+		t.Error("degenerate Uniform wrong")
+	}
+}
+
+func TestExponentialDelay(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	e := Exponential{Min: time.Millisecond, Mean: 2 * time.Millisecond, Cap: 50 * time.Millisecond}
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := e.Delay(r, 0, 1, 0)
+		if d < e.Min || d > e.Cap {
+			t.Fatalf("Exponential sample %v outside bounds", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	want := 3 * time.Millisecond // Min + Mean
+	if mean < want-500*time.Microsecond || mean > want+500*time.Microsecond {
+		t.Errorf("Exponential mean = %v, want ≈%v", mean, want)
+	}
+}
+
+func TestParetoDelay(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := Pareto{Scale: time.Millisecond, Alpha: 2, Cap: time.Second}
+	for i := 0; i < 10000; i++ {
+		d := p.Delay(r, 0, 1, 0)
+		if d < p.Scale || d > p.Cap {
+			t.Fatalf("Pareto sample %v outside [scale, cap]", d)
+		}
+	}
+	// Alpha <= 0 falls back to 1 rather than panicking.
+	bad := Pareto{Scale: time.Millisecond, Alpha: 0, Cap: time.Second}
+	if d := bad.Delay(r, 0, 1, 0); d < time.Millisecond {
+		t.Errorf("Pareto with alpha=0 sample %v", d)
+	}
+}
+
+func TestBiasDelay(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	b := Bias{
+		Base:    Constant{D: 100 * time.Millisecond},
+		Fast:    Constant{D: time.Millisecond},
+		Favored: ident.SetOf(3),
+	}
+	if d := b.Delay(r, 3, 0, 0); d != time.Millisecond {
+		t.Errorf("favored sender delay = %v, want 1ms", d)
+	}
+	if d := b.Delay(r, 0, 3, 0); d != time.Millisecond {
+		t.Errorf("favored receiver delay = %v, want 1ms (round trips must be fast)", d)
+	}
+	if d := b.Delay(r, 0, 1, 0); d != 100*time.Millisecond {
+		t.Errorf("unfavored delay = %v, want 100ms", d)
+	}
+}
+
+func TestDisturbanceDelay(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := Disturbance{
+		Base:   Constant{D: time.Millisecond},
+		Nodes:  ident.SetOf(1),
+		Start:  10 * time.Millisecond,
+		End:    20 * time.Millisecond,
+		Factor: 50,
+	}
+	if got := d.Delay(r, 1, 0, 5*time.Millisecond); got != time.Millisecond {
+		t.Errorf("before window = %v", got)
+	}
+	if got := d.Delay(r, 1, 0, 15*time.Millisecond); got != 50*time.Millisecond {
+		t.Errorf("inside window (from) = %v, want 50ms", got)
+	}
+	if got := d.Delay(r, 0, 1, 15*time.Millisecond); got != 50*time.Millisecond {
+		t.Errorf("inside window (to) = %v, want 50ms", got)
+	}
+	if got := d.Delay(r, 0, 2, 15*time.Millisecond); got != time.Millisecond {
+		t.Errorf("inside window, untouched nodes = %v, want 1ms", got)
+	}
+	if got := d.Delay(r, 1, 0, 20*time.Millisecond); got != time.Millisecond {
+		t.Errorf("End is exclusive; got %v", got)
+	}
+}
+
+func TestQuickNetworkDeterminism(t *testing.T) {
+	// Same seed + same workload ⇒ identical delivery traces.
+	run := func(seed int64) []time.Duration {
+		sim := des.New(seed)
+		net := New(sim, Config{Delay: Exponential{Min: time.Millisecond, Mean: 5 * time.Millisecond}, DropRate: 0.1})
+		var tr []time.Duration
+		for i := 0; i < 5; i++ {
+			net.AddNode(ident.ID(i), node.HandlerFunc(func(ident.ID, any) { tr = append(tr, sim.Now()) }))
+		}
+		for i := 0; i < 5; i++ {
+			net.Env(ident.ID(i)).Broadcast(i)
+		}
+		sim.Run()
+		return tr
+	}
+	f := func(seed int64) bool {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBroadcast32(b *testing.B) {
+	sim := des.New(1)
+	net := New(sim, Config{Delay: Uniform{Min: time.Microsecond, Max: time.Millisecond}})
+	for i := 0; i < 32; i++ {
+		net.AddNode(ident.ID(i), node.HandlerFunc(func(ident.ID, any) {}))
+	}
+	env := net.Env(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.Broadcast("q")
+		sim.Run()
+	}
+}

@@ -1,0 +1,57 @@
+// Package node defines the narrow runtime environment a protocol node
+// executes in. The same protocol implementations (query–response detector,
+// heartbeat, φ-accrual, Chen NFD-E, consensus) run unchanged on the
+// deterministic simulator (internal/netsim) and on the real-time
+// goroutine/channel runtime (internal/livenet), because both provide this
+// interface.
+package node
+
+import (
+	"time"
+
+	"asyncfd/internal/ident"
+)
+
+// Timer is a cancelable scheduled callback.
+type Timer interface {
+	// Stop cancels the callback if it has not fired, reporting whether it
+	// was still pending.
+	Stop() bool
+}
+
+// Env is the world as seen by one process: its identity, a clock, a
+// scheduler and an unreliable asynchronous network. Message sending never
+// blocks and never fails synchronously; delivery order and timing are
+// arbitrary. All callbacks (scheduled functions and Deliver) are serialized
+// per process by the runtime, so node implementations need no locking for
+// state touched only from callbacks.
+type Env interface {
+	// Self returns this process's identity.
+	Self() ident.ID
+	// Now returns the current time (virtual in simulation, wall-clock
+	// offset in live runs). Protocol logic of the time-free detector must
+	// not consult it — it exists for timer-based baselines and metrics.
+	Now() time.Duration
+	// After schedules fn to run after d, subject to the process being
+	// alive when it fires.
+	After(d time.Duration, fn func()) Timer
+	// Send transmits payload to one process.
+	Send(to ident.ID, payload any)
+	// Broadcast transmits payload to every neighbor (every other process
+	// in a fully connected system). The sender does not receive its own
+	// broadcast; protocols that need self-delivery handle it internally.
+	Broadcast(payload any)
+}
+
+// Handler consumes messages delivered to a process.
+type Handler interface {
+	// Deliver hands the process a message previously sent to it. It runs
+	// on the runtime's callback context; implementations must not block.
+	Deliver(from ident.ID, payload any)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from ident.ID, payload any)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(from ident.ID, payload any) { f(from, payload) }

@@ -1,0 +1,300 @@
+// Package phiaccrual implements the φ-accrual failure detector
+// (Hayashibara et al.), the adaptive timer-based detector used by most
+// contemporary open-source systems (Cassandra, Akka, ...). It is the
+// "state of practice" comparator for the paper's time-free approach.
+//
+// Each process heartbeats every Δ. A monitor keeps a sliding window of
+// heartbeat inter-arrival times per peer and computes the suspicion level
+//
+//	φ(t) = −log₁₀( P_later(t − t_last) )
+//
+// where P_later is the tail probability of the next heartbeat arriving
+// after the elapsed silence, under a normal fit of the window. The peer is
+// suspected while φ exceeds a threshold. Unlike a fixed timeout the scale
+// adapts to observed delays — but it is still a timing assumption, and heavy
+// delay tails still produce mistakes.
+package phiaccrual
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// Message is a heartbeat.
+type Message struct {
+	From ident.ID
+	Seq  uint64
+}
+
+// Config parameterizes a φ-accrual detector.
+type Config struct {
+	// Self is this process's identity.
+	Self ident.ID
+	// Peers are the monitored processes (Self is ignored if present).
+	Peers ident.Set
+	// Interval is the heartbeat period Δ.
+	Interval time.Duration
+	// Threshold is the suspicion level above which a peer is suspected.
+	// The conventional default is 8 (used when zero).
+	Threshold float64
+	// WindowSize bounds the inter-arrival sample window (default 200).
+	WindowSize int
+	// MinStdDev floors the fitted standard deviation to keep φ finite on
+	// perfectly regular traffic (default Interval/20).
+	MinStdDev time.Duration
+	// CheckInterval is how often suspicion levels are re-evaluated
+	// (default Interval/4).
+	CheckInterval time.Duration
+	// Sink, if set, receives timestamped suspicion transitions.
+	Sink fd.SuspicionSink
+}
+
+func (c *Config) fillDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 8
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 200
+	}
+	if c.MinStdDev == 0 {
+		c.MinStdDev = c.Interval / 20
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = c.Interval / 4
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = time.Millisecond
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !c.Self.Valid() {
+		return errors.New("phiaccrual: config: Self must be valid")
+	}
+	if c.Interval <= 0 {
+		return errors.New("phiaccrual: config: Interval must be positive")
+	}
+	if c.Threshold < 0 || c.WindowSize < 0 {
+		return errors.New("phiaccrual: config: negative Threshold or WindowSize")
+	}
+	return nil
+}
+
+// window is a bounded sample set with running mean/variance.
+type window struct {
+	samples []float64 // seconds
+	next    int
+	full    bool
+}
+
+func (w *window) push(v float64, capacity int) {
+	if len(w.samples) < capacity {
+		w.samples = append(w.samples, v)
+		return
+	}
+	w.samples[w.next] = v
+	w.next = (w.next + 1) % capacity
+	w.full = true
+}
+
+func (w *window) meanStd() (mean, std float64) {
+	n := float64(len(w.samples))
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, v := range w.samples {
+		sum += v
+	}
+	mean = sum / n
+	var ss float64
+	for _, v := range w.samples {
+		d := v - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / n)
+	return mean, std
+}
+
+// peerState tracks one monitored process.
+type peerState struct {
+	win       window
+	last      time.Duration // arrival time of last heartbeat
+	suspected bool
+}
+
+// Node is a φ-accrual detector node. Safe for concurrent use.
+type Node struct {
+	mu      sync.Mutex
+	env     node.Env
+	cfg     Config
+	peers   map[ident.ID]*peerState
+	seq     uint64
+	stopped bool
+	beat    node.Timer
+	check   node.Timer
+}
+
+var _ node.Handler = (*Node)(nil)
+var _ fd.Detector = (*Node)(nil)
+
+// NewNode builds a φ-accrual detector on env.
+func NewNode(env node.Env, cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	n := &Node{env: env, cfg: cfg, peers: make(map[ident.ID]*peerState)}
+	cfg.Peers.ForEach(func(p ident.ID) bool {
+		if p != cfg.Self {
+			n.peers[p] = &peerState{}
+		}
+		return true
+	})
+	return n, nil
+}
+
+// Start begins heartbeating and monitoring. Monitoring starts as if a
+// heartbeat from every peer arrived now, with the window primed with the
+// nominal interval — the standard bootstrap that avoids instant suspicion.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.env.Now()
+	for _, st := range n.peers {
+		st.last = now
+		st.win.push(n.cfg.Interval.Seconds(), n.cfg.WindowSize)
+	}
+	n.tickLocked()
+	n.scanLocked()
+}
+
+// Stop halts heartbeating and monitoring.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.beat != nil {
+		n.beat.Stop()
+	}
+	if n.check != nil {
+		n.check.Stop()
+	}
+}
+
+func (n *Node) tickLocked() {
+	if n.stopped {
+		return
+	}
+	n.seq++
+	n.env.Broadcast(Message{From: n.env.Self(), Seq: n.seq})
+	n.beat = n.env.After(n.cfg.Interval, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.tickLocked()
+	})
+}
+
+func (n *Node) scanLocked() {
+	if n.stopped {
+		return
+	}
+	now := n.env.Now()
+	for p, st := range n.peers {
+		phi := n.phiLocked(st, now)
+		if phi >= n.cfg.Threshold && !st.suspected {
+			st.suspected = true
+			n.emitLocked(p, true)
+		}
+		// Restoration happens on heartbeat arrival, not here: φ only grows
+		// with silence.
+	}
+	n.check = n.env.After(n.cfg.CheckInterval, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.scanLocked()
+	})
+}
+
+// phiLocked computes the suspicion level of a peer at time now.
+func (n *Node) phiLocked(st *peerState, now time.Duration) float64 {
+	elapsed := (now - st.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, std := st.win.meanStd()
+	if floor := n.cfg.MinStdDev.Seconds(); std < floor {
+		std = floor
+	}
+	// P_later(t) = 0.5 · erfc((t − µ) / (σ·√2)); φ = −log10(P_later).
+	p := 0.5 * math.Erfc((elapsed-mean)/(std*math.Sqrt2))
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log10(p)
+}
+
+// Phi returns the current suspicion level for id (diagnostics/tests).
+func (n *Node) Phi(id ident.ID) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.peers[id]
+	if !ok {
+		return 0
+	}
+	return n.phiLocked(st, n.env.Now())
+}
+
+// Deliver implements node.Handler.
+func (n *Node) Deliver(from ident.ID, payload any) {
+	if _, ok := payload.(Message); !ok {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.peers[from]
+	if !ok || n.stopped {
+		return
+	}
+	now := n.env.Now()
+	st.win.push((now - st.last).Seconds(), n.cfg.WindowSize)
+	st.last = now
+	if st.suspected {
+		st.suspected = false
+		n.emitLocked(from, false)
+	}
+}
+
+func (n *Node) emitLocked(subject ident.ID, suspected bool) {
+	if n.cfg.Sink != nil {
+		n.cfg.Sink.OnSuspicion(n.env.Now(), n.env.Self(), subject, suspected)
+	}
+}
+
+// Suspects implements fd.Detector.
+func (n *Node) Suspects() ident.Set {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out ident.Set
+	for p, st := range n.peers {
+		if st.suspected {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// IsSuspected implements fd.Detector.
+func (n *Node) IsSuspected(id ident.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.peers[id]
+	return ok && st.suspected
+}

@@ -1,0 +1,191 @@
+package phiaccrual
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Self: 0, Interval: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Self: ident.Nil, Interval: time.Second},
+		{Self: 0, Interval: 0},
+		{Self: 0, Interval: time.Second, Threshold: -1},
+		{Self: 0, Interval: time.Second, WindowSize: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{Self: 0, Interval: time.Second}
+	c.fillDefaults()
+	if c.Threshold != 8 || c.WindowSize != 200 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.MinStdDev != 50*time.Millisecond {
+		t.Errorf("MinStdDev default = %v, want Interval/20", c.MinStdDev)
+	}
+	if c.CheckInterval != 250*time.Millisecond {
+		t.Errorf("CheckInterval default = %v, want Interval/4", c.CheckInterval)
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	var w window
+	for _, v := range []float64{1, 2, 3} {
+		w.push(v, 10)
+	}
+	mean, std := w.meanStd()
+	if mean != 2 {
+		t.Errorf("mean = %v, want 2", mean)
+	}
+	if math.Abs(std-math.Sqrt(2.0/3.0)) > 1e-12 {
+		t.Errorf("std = %v", std)
+	}
+	// Ring behavior: capacity 3, pushing a 4th evicts the oldest.
+	w.push(10, 3)
+	mean, _ = w.meanStd()
+	if mean != 5 {
+		t.Errorf("mean after eviction = %v, want (2+3+10)/3", mean)
+	}
+	var empty window
+	if m, s := empty.meanStd(); m != 0 || s != 0 {
+		t.Error("empty window stats nonzero")
+	}
+}
+
+type cluster struct {
+	sim   *des.Simulator
+	net   *netsim.Network
+	nodes []*Node
+	log   *trace.Log
+}
+
+type proxy struct{ n **Node }
+
+func (p proxy) Deliver(from ident.ID, payload any) {
+	if *p.n != nil {
+		(*p.n).Deliver(from, payload)
+	}
+}
+
+func newCluster(t *testing.T, n int, delay netsim.DelayModel, interval time.Duration) *cluster {
+	t.Helper()
+	c := &cluster{sim: des.New(5), log: &trace.Log{}}
+	c.net = netsim.New(c.sim, netsim.Config{Delay: delay})
+	peers := ident.FullSet(n)
+	c.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		var nd *Node
+		env := c.net.AddNode(id, proxy{&nd})
+		var err error
+		nd, err = NewNode(env, Config{Self: id, Peers: peers, Interval: interval, Sink: c.log})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes[i] = nd
+	}
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+	return c
+}
+
+func TestPhiLowOnRegularTraffic(t *testing.T) {
+	c := newCluster(t, 3, netsim.Constant{D: 5 * time.Millisecond}, time.Second)
+	c.sim.RunUntil(30 * time.Second)
+	if c.log.Len() != 0 {
+		t.Errorf("suspicions on regular traffic:\n%s", c.log)
+	}
+	phi := c.nodes[0].Phi(1)
+	if phi >= 1 {
+		t.Errorf("φ = %v on regular traffic, want < 1", phi)
+	}
+}
+
+func TestPhiGrowsWithSilenceAndDetectsCrash(t *testing.T) {
+	c := newCluster(t, 3, netsim.Constant{D: 5 * time.Millisecond}, time.Second)
+	c.sim.At(10*time.Second, func() { c.net.Crash(2) })
+	c.sim.RunUntil(60 * time.Second)
+	for i := 0; i < 2; i++ {
+		if !c.nodes[i].IsSuspected(2) {
+			t.Errorf("node %d: crashed process not suspected (φ=%v)", i, c.nodes[i].Phi(2))
+		}
+		at, ok := c.log.FirstSuspicion(ident.ID(i), 2)
+		if !ok || at < 10*time.Second {
+			t.Errorf("node %d suspicion at %v, ok=%v", i, at, ok)
+		}
+	}
+	if phi := c.nodes[0].Phi(2); !math.IsInf(phi, 1) && phi < 8 {
+		t.Errorf("φ after long silence = %v, want ≥ threshold", phi)
+	}
+}
+
+func TestPhiRestoresAfterDisturbance(t *testing.T) {
+	delay := netsim.Disturbance{
+		Base:   netsim.Constant{D: 5 * time.Millisecond},
+		Nodes:  ident.SetOf(1),
+		Start:  10 * time.Second,
+		End:    18 * time.Second,
+		Factor: 2000, // ≈10 s delays, far beyond the adaptive expectation
+	}
+	c := newCluster(t, 3, delay, time.Second)
+	c.sim.RunUntil(120 * time.Second)
+	falseSusp := false
+	for _, e := range c.log.Events() {
+		if e.Subject == 1 && e.Suspected {
+			falseSusp = true
+		}
+	}
+	if !falseSusp {
+		t.Fatal("disturbance did not trigger φ suspicion; scenario too weak")
+	}
+	if c.nodes[0].IsSuspected(1) || c.nodes[2].IsSuspected(1) {
+		t.Error("suspicion not revoked after heartbeats resumed")
+	}
+}
+
+func TestPhiOfUnknownPeerZero(t *testing.T) {
+	c := newCluster(t, 2, netsim.Constant{D: time.Millisecond}, time.Second)
+	if got := c.nodes[0].Phi(9); got != 0 {
+		t.Errorf("Phi(unknown) = %v, want 0", got)
+	}
+	if c.nodes[0].IsSuspected(9) {
+		t.Error("unknown peer suspected")
+	}
+}
+
+func TestStopSilencesNode(t *testing.T) {
+	c := newCluster(t, 2, netsim.Constant{D: time.Millisecond}, 100*time.Millisecond)
+	c.sim.RunUntil(time.Second)
+	c.nodes[0].Stop()
+	before := c.net.Stats().Sent
+	c.sim.RunUntil(2 * time.Second)
+	after := c.net.Stats().Sent
+	if after-before > 11 { // only node 1's ~10 heartbeats remain
+		t.Errorf("stopped node kept sending: %d msgs", after-before)
+	}
+}
+
+func TestDeliverIgnoresForeign(t *testing.T) {
+	c := newCluster(t, 2, netsim.Constant{D: time.Millisecond}, time.Second)
+	c.nodes[0].Deliver(1, "junk") // must not panic or alter state
+	c.nodes[0].Deliver(9, Message{From: 9, Seq: 1})
+	if c.nodes[0].IsSuspected(9) {
+		t.Error("stranger heartbeat created peer state")
+	}
+}

@@ -1,0 +1,253 @@
+// Package qos computes quality-of-service metrics of failure detectors from
+// recorded suspicion traces, following the taxonomy of Chen, Toueg and
+// Aguilera: detection time, mistake rate, mistake duration and query
+// accuracy probability. The experiment harness reduces every table of the
+// reconstructed evaluation to these numbers.
+package qos
+
+import (
+	"sort"
+	"time"
+
+	"asyncfd/internal/ident"
+	"asyncfd/internal/trace"
+)
+
+// GroundTruth is the fault-injection record a trace is judged against.
+// The zero value (no crashes) is ready to use.
+type GroundTruth struct {
+	crashes map[ident.ID]time.Duration
+}
+
+// Crash records that id crashed at time at.
+func (g *GroundTruth) Crash(id ident.ID, at time.Duration) {
+	if g.crashes == nil {
+		g.crashes = make(map[ident.ID]time.Duration)
+	}
+	g.crashes[id] = at
+}
+
+// CrashTime returns when id crashed.
+func (g *GroundTruth) CrashTime(id ident.ID) (time.Duration, bool) {
+	t, ok := g.crashes[id]
+	return t, ok
+}
+
+// Crashed reports whether id ever crashes in this run.
+func (g *GroundTruth) Crashed(id ident.ID) bool {
+	_, ok := g.crashes[id]
+	return ok
+}
+
+// CrashedBy reports whether id had crashed at or before time at.
+func (g *GroundTruth) CrashedBy(id ident.ID, at time.Duration) bool {
+	t, ok := g.crashes[id]
+	return ok && t <= at
+}
+
+// CrashedSet returns all processes that crash during the run.
+func (g *GroundTruth) CrashedSet() ident.Set {
+	var s ident.Set
+	for id := range g.crashes {
+		s.Add(id)
+	}
+	return s
+}
+
+// DetectionStats summarizes how fast the observers permanently detected one
+// crash.
+type DetectionStats struct {
+	// Avg, Min, Max are over the observers that did permanently detect.
+	Avg, Min, Max time.Duration
+	// Count is the number of observers that permanently detected.
+	Count int
+	// Missing is the number of observers that never did (completeness
+	// violations within the observed horizon).
+	Missing int
+}
+
+// episode is a [start, end) interval during which observer suspected
+// subject; end = -1 marks an episode still open at the end of the trace.
+type episode struct {
+	start, end time.Duration
+}
+
+// episodes reconstructs the suspicion intervals of (observer, subject).
+func episodes(events []trace.Event, observer, subject ident.ID) []episode {
+	var out []episode
+	open := -1
+	for _, e := range events {
+		if e.Observer != observer || e.Subject != subject {
+			continue
+		}
+		if e.Suspected {
+			if open == -1 {
+				out = append(out, episode{start: e.At, end: -1})
+				open = len(out) - 1
+			}
+		} else if open != -1 {
+			out[open].end = e.At
+			open = -1
+		}
+	}
+	return out
+}
+
+// sortedEvents returns the log's events in time order (stable).
+func sortedEvents(log *trace.Log) []trace.Event {
+	events := log.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// DetectionTimes measures, for a subject that crashed, the time from the
+// crash until each observer's *permanent* suspicion (the suspicion episode
+// that never ends). Observers already suspecting the subject when it crashed
+// count as detection time zero.
+func DetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set) DetectionStats {
+	crashAt, ok := truth.CrashTime(subject)
+	if !ok {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	events := sortedEvents(log)
+	var stats DetectionStats
+	var total time.Duration
+	first := true
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		eps := episodes(events, obs, subject)
+		if len(eps) == 0 || eps[len(eps)-1].end != -1 {
+			stats.Missing++
+			return true
+		}
+		det := eps[len(eps)-1].start - crashAt
+		if det < 0 {
+			det = 0 // suspected since before the crash
+		}
+		stats.Count++
+		total += det
+		if first || det < stats.Min {
+			stats.Min = det
+		}
+		if first || det > stats.Max {
+			stats.Max = det
+		}
+		first = false
+		return true
+	})
+	if stats.Count > 0 {
+		stats.Avg = total / time.Duration(stats.Count)
+	}
+	return stats
+}
+
+// MistakeStats summarizes false suspicions of correct (or not-yet-crashed)
+// subjects.
+type MistakeStats struct {
+	// Count is the number of closed false-suspicion episodes.
+	Count int
+	// Unresolved is the number of false-suspicion episodes still open at
+	// the end of the horizon (accuracy violations at the cut).
+	Unresolved int
+	// AvgDuration and MaxDuration describe closed episodes (T_M).
+	AvgDuration, MaxDuration time.Duration
+	// Rate is closed episodes per observer-subject pair per second (λ_M).
+	Rate float64
+}
+
+// Mistakes scans all (observer, subject) pairs among members and counts
+// suspicion episodes of subjects that had not crashed when the episode
+// began.
+func Mistakes(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) MistakeStats {
+	events := sortedEvents(log)
+	var stats MistakeStats
+	var total time.Duration
+	pairs := 0
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			pairs++
+			for _, ep := range episodes(events, obs, subj) {
+				if truth.CrashedBy(subj, ep.start) {
+					continue // true suspicion
+				}
+				if ep.end == -1 {
+					// Open at the cut: a mistake only if the subject is
+					// still correct (otherwise it became a true detection).
+					if !truth.Crashed(subj) {
+						stats.Unresolved++
+					}
+					continue
+				}
+				stats.Count++
+				d := ep.end - ep.start
+				total += d
+				if d > stats.MaxDuration {
+					stats.MaxDuration = d
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if stats.Count > 0 {
+		stats.AvgDuration = total / time.Duration(stats.Count)
+	}
+	if pairs > 0 && horizon > 0 {
+		stats.Rate = float64(stats.Count) / float64(pairs) / horizon.Seconds()
+	}
+	return stats
+}
+
+// QueryAccuracy returns P_A: the probability that a random query about a
+// random correct process at a random time in [0, horizon] is answered
+// correctly (not suspected). Computed as 1 − (aggregate wrongful-suspicion
+// time) / (correct-pair count × horizon).
+func QueryAccuracy(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 1
+	}
+	events := sortedEvents(log)
+	var wrongful time.Duration
+	pairs := 0
+	members.ForEach(func(obs ident.ID) bool {
+		if truth.Crashed(obs) {
+			return true // crashed observers stop being queried; skip
+		}
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj || truth.Crashed(subj) {
+				return true
+			}
+			pairs++
+			for _, ep := range episodes(events, obs, subj) {
+				end := ep.end
+				if end == -1 || end > horizon {
+					end = horizon
+				}
+				if end > ep.start {
+					wrongful += end - ep.start
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if pairs == 0 {
+		return 1
+	}
+	frac := float64(wrongful) / (float64(pairs) * float64(horizon))
+	return 1 - frac
+}
+
+// FalseSuspicionSeries samples how many (observer, correct-subject) pairs
+// are in a suspected state at each of the given instants — the data behind
+// the "number of false suspicions over time" figure.
+func FalseSuspicionSeries(log *trace.Log, truth *GroundTruth, times []time.Duration) []int {
+	return log.SuspicionCountSeries(times, func(subject ident.ID) bool {
+		return !truth.Crashed(subject)
+	})
+}

@@ -1,0 +1,224 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"asyncfd/internal/ident"
+	"asyncfd/internal/trace"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestGroundTruth(t *testing.T) {
+	var g GroundTruth
+	if g.Crashed(1) || g.CrashedBy(1, sec(10)) {
+		t.Error("zero GroundTruth reports crashes")
+	}
+	g.Crash(1, sec(5))
+	if !g.Crashed(1) {
+		t.Error("Crashed = false after Crash")
+	}
+	if at, ok := g.CrashTime(1); !ok || at != sec(5) {
+		t.Errorf("CrashTime = %v,%v", at, ok)
+	}
+	if g.CrashedBy(1, sec(4)) {
+		t.Error("CrashedBy before crash time = true")
+	}
+	if !g.CrashedBy(1, sec(5)) || !g.CrashedBy(1, sec(6)) {
+		t.Error("CrashedBy at/after crash time = false")
+	}
+	set := g.CrashedSet()
+	if set.Len() != 1 || !set.Has(1) {
+		t.Errorf("CrashedSet = %v", set)
+	}
+}
+
+func TestDetectionTimesBasic(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(3, sec(10))
+	// Observer 0 detects at 12s, observer 1 at 11s, observer 2 never.
+	l.OnSuspicion(sec(12), 0, 3, true)
+	l.OnSuspicion(sec(11), 1, 3, true)
+	st := DetectionTimes(l, &g, 3, ident.SetOf(0, 1, 2))
+	if st.Count != 2 || st.Missing != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Min != sec(1) || st.Max != sec(2) || st.Avg != 1500*time.Millisecond {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDetectionTimesPermanenceRequired(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(3, sec(10))
+	// Observer 0 suspects at 11s, revokes at 12s (not permanent), suspects
+	// again at 15s (permanent): detection time is 5s, not 1s.
+	l.OnSuspicion(sec(11), 0, 3, true)
+	l.OnSuspicion(sec(12), 0, 3, false)
+	l.OnSuspicion(sec(15), 0, 3, true)
+	st := DetectionTimes(l, &g, 3, ident.SetOf(0))
+	if st.Count != 1 || st.Avg != sec(5) {
+		t.Errorf("stats = %+v, want permanent-episode detection at 5s", st)
+	}
+	// An observer whose final state is "not suspected" counts as missing.
+	l2 := &trace.Log{}
+	l2.OnSuspicion(sec(11), 0, 3, true)
+	l2.OnSuspicion(sec(12), 0, 3, false)
+	st2 := DetectionTimes(l2, &g, 3, ident.SetOf(0))
+	if st2.Count != 0 || st2.Missing != 1 {
+		t.Errorf("stats = %+v, want missing", st2)
+	}
+}
+
+func TestDetectionTimeZeroWhenAlreadySuspected(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(3, sec(10))
+	l.OnSuspicion(sec(7), 0, 3, true) // false suspicion that becomes true
+	st := DetectionTimes(l, &g, 3, ident.SetOf(0))
+	if st.Count != 1 || st.Avg != 0 {
+		t.Errorf("stats = %+v, want zero detection time", st)
+	}
+}
+
+func TestDetectionTimesSubjectNeverCrashed(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	st := DetectionTimes(l, &g, 3, ident.SetOf(0, 1))
+	if st.Count != 0 || st.Missing != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDetectionExcludesSubjectAsObserver(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(3, sec(10))
+	l.OnSuspicion(sec(11), 0, 3, true)
+	st := DetectionTimes(l, &g, 3, ident.SetOf(0, 3))
+	if st.Count != 1 || st.Missing != 0 {
+		t.Errorf("stats = %+v; the subject itself must not count as observer", st)
+	}
+}
+
+func TestMistakes(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	members := ident.SetOf(0, 1, 2)
+	// Two closed mistakes about p1 (durations 2s and 4s), one open mistake
+	// about p2 at the horizon.
+	l.OnSuspicion(sec(1), 0, 1, true)
+	l.OnSuspicion(sec(3), 0, 1, false)
+	l.OnSuspicion(sec(5), 2, 1, true)
+	l.OnSuspicion(sec(9), 2, 1, false)
+	l.OnSuspicion(sec(8), 0, 2, true)
+	st := Mistakes(l, &g, members, sec(10))
+	if st.Count != 2 || st.Unresolved != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgDuration != sec(3) || st.MaxDuration != sec(4) {
+		t.Errorf("durations = %+v", st)
+	}
+	wantRate := 2.0 / 6.0 / 10.0 // 2 mistakes, 6 ordered pairs, 10 seconds
+	if diff := st.Rate - wantRate; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Rate = %v, want %v", st.Rate, wantRate)
+	}
+}
+
+func TestMistakesExcludeTrueSuspicions(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(1, sec(5))
+	l.OnSuspicion(sec(6), 0, 1, true) // true detection, not a mistake
+	l.OnSuspicion(sec(2), 0, 1, true) // started before crash → mistake even though 1 crashes later
+	l.OnSuspicion(sec(3), 0, 1, false)
+	st := Mistakes(l, &g, ident.SetOf(0, 1), sec(10))
+	if st.Count != 1 {
+		t.Errorf("Count = %d, want 1 (pre-crash episode only)", st.Count)
+	}
+	if st.Unresolved != 0 {
+		t.Errorf("Unresolved = %d; open true detection counted as mistake", st.Unresolved)
+	}
+}
+
+func TestQueryAccuracyPerfect(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	if pa := QueryAccuracy(l, &g, ident.SetOf(0, 1, 2), sec(10)); pa != 1 {
+		t.Errorf("PA = %v, want 1", pa)
+	}
+	if pa := QueryAccuracy(l, &g, ident.SetOf(0), sec(10)); pa != 1 {
+		t.Errorf("PA with one member = %v, want 1", pa)
+	}
+	if pa := QueryAccuracy(l, &g, ident.SetOf(0, 1), 0); pa != 1 {
+		t.Errorf("PA with zero horizon = %v, want 1", pa)
+	}
+}
+
+func TestQueryAccuracyCountsWrongfulTime(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	members := ident.SetOf(0, 1)
+	// p0 wrongfully suspects p1 for 2 of 10 seconds; 2 ordered pairs.
+	l.OnSuspicion(sec(4), 0, 1, true)
+	l.OnSuspicion(sec(6), 0, 1, false)
+	pa := QueryAccuracy(l, &g, members, sec(10))
+	want := 1 - 2.0/(2*10.0)
+	if diff := pa - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("PA = %v, want %v", pa, want)
+	}
+}
+
+func TestQueryAccuracyIgnoresCrashedParties(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(1, sec(0))
+	l.OnSuspicion(sec(1), 0, 1, true) // about a crashed subject: not wrongful
+	pa := QueryAccuracy(l, &g, ident.SetOf(0, 1, 2), sec(10))
+	if pa != 1 {
+		t.Errorf("PA = %v, want 1 (crashed subject excluded)", pa)
+	}
+}
+
+func TestQueryAccuracyOpenEpisodeClampedToHorizon(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	l.OnSuspicion(sec(8), 0, 1, true) // open until horizon 10 → 2s wrongful
+	pa := QueryAccuracy(l, &g, ident.SetOf(0, 1), sec(10))
+	want := 1 - 2.0/(2*10.0)
+	if diff := pa - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("PA = %v, want %v", pa, want)
+	}
+}
+
+func TestFalseSuspicionSeries(t *testing.T) {
+	l := &trace.Log{}
+	var g GroundTruth
+	g.Crash(9, sec(0))
+	l.OnSuspicion(sec(1), 0, 1, true)
+	l.OnSuspicion(sec(2), 0, 9, true) // crashed subject: excluded
+	l.OnSuspicion(sec(3), 0, 1, false)
+	got := FalseSuspicionSeries(l, &g, []time.Duration{0, sec(1), sec(2), sec(3)})
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEpisodesIgnoreDuplicateTransitions(t *testing.T) {
+	l := &trace.Log{}
+	l.OnSuspicion(sec(1), 0, 1, true)
+	l.OnSuspicion(sec(2), 0, 1, true) // duplicate suspect
+	l.OnSuspicion(sec(3), 0, 1, false)
+	l.OnSuspicion(sec(4), 0, 1, false) // duplicate restore
+	var g GroundTruth
+	st := Mistakes(l, &g, ident.SetOf(0, 1), sec(10))
+	if st.Count != 1 || st.AvgDuration != sec(2) {
+		t.Errorf("stats = %+v, want one 2s episode", st)
+	}
+}

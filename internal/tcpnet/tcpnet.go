@@ -1,0 +1,324 @@
+// Package tcpnet runs the protocol nodes over real TCP sockets: a
+// length-prefixed framing of the wire codec plus a tiny identity handshake.
+// It demonstrates that the same core.Node that runs on the simulator and the
+// in-process live runtime also runs across machines. It is a demonstration
+// transport (full mesh, lazy dialing, drop-on-error), not a hardened
+// product.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+	"asyncfd/internal/wire"
+)
+
+// maxFrame bounds incoming frames (1 MiB is far above any detector message).
+const maxFrame = 1 << 20
+
+// Config parameterizes a transport endpoint.
+type Config struct {
+	// Self is this process's identity.
+	Self ident.ID
+	// ListenAddr is the TCP address to listen on (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// Handler receives decoded messages.
+	Handler node.Handler
+}
+
+// Transport is one process's endpoint. It implements node.Env.
+type Transport struct {
+	cfg   Config
+	ln    net.Listener
+	start time.Time
+
+	mu      sync.Mutex
+	peers   map[ident.ID]string   // id → address
+	conns   map[ident.ID]net.Conn // established outgoing connections
+	inbound map[net.Conn]struct{} // accepted connections (closed on Close)
+	closed  bool
+
+	deliver sync.Mutex // serializes Handler.Deliver per the node.Env contract
+	write   sync.Mutex // serializes frame writes (frames must not interleave)
+
+	done    chan struct{}
+	wg      sync.WaitGroup
+	pending sync.WaitGroup
+}
+
+var _ node.Env = (*Transport)(nil)
+
+// New opens the listener and starts accepting.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("tcpnet: Config.Handler is required")
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen: %w", err)
+	}
+	t := &Transport{
+		cfg:     cfg,
+		ln:      ln,
+		start:   time.Now(),
+		peers:   make(map[ident.ID]string),
+		conns:   make(map[ident.ID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer registers the address of another process.
+func (t *Transport) AddPeer(id ident.ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Close tears the endpoint down and joins all goroutines.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.done)
+	err := t.ln.Close()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.pending.Wait()
+	t.wg.Wait()
+	return err
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop consumes the hello frame then dispatches messages.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	hello, err := readFrame(conn)
+	if err != nil || len(hello) == 0 {
+		return
+	}
+	from64, n := binary.Uvarint(hello)
+	if n <= 0 {
+		return
+	}
+	from := ident.ID(from64)
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		payload, err := wire.Decode(frame)
+		if err != nil {
+			continue // tolerate garbage; asynchronous links may be attacked
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		t.deliver.Lock()
+		t.cfg.Handler.Deliver(from, payload)
+		t.deliver.Unlock()
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size == 0 || size > maxFrame {
+		return nil, fmt.Errorf("tcpnet: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// conn returns (dialing if necessary) the outgoing connection to id.
+func (t *Transport) conn(id ident.ID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("tcpnet: closed")
+	}
+	if c, ok := t.conns[id]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[id]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: unknown peer %v", id)
+	}
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	hello := binary.AppendUvarint(nil, uint64(t.cfg.Self))
+	if err := writeFrame(c, hello); err != nil {
+		c.Close()
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, errors.New("tcpnet: closed")
+	}
+	if existing, ok := t.conns[id]; ok {
+		c.Close()
+		return existing, nil
+	}
+	t.conns[id] = c
+	return c, nil
+}
+
+func (t *Transport) dropConn(id ident.ID, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[id] == c {
+		delete(t.conns, id)
+	}
+	c.Close()
+}
+
+// Self implements node.Env.
+func (t *Transport) Self() ident.ID { return t.cfg.Self }
+
+// Now implements node.Env.
+func (t *Transport) Now() time.Duration { return time.Since(t.start) }
+
+// After implements node.Env.
+func (t *Transport) After(d time.Duration, fn func()) node.Timer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return deadTimer{}
+	}
+	t.pending.Add(1)
+	var once sync.Once
+	release := func() { once.Do(func() { t.pending.Done() }) }
+	tm := time.AfterFunc(d, func() {
+		defer release()
+		select {
+		case <-t.done:
+		default:
+			fn()
+		}
+	})
+	return &tcpTimer{t: tm, release: release}
+}
+
+type tcpTimer struct {
+	t       *time.Timer
+	release func()
+}
+
+func (t *tcpTimer) Stop() bool {
+	stopped := t.t.Stop()
+	if stopped {
+		t.release()
+	}
+	return stopped
+}
+
+type deadTimer struct{}
+
+func (deadTimer) Stop() bool { return false }
+
+// Send implements node.Env: best-effort asynchronous transmission. Encoding
+// or connection failures drop the message (the asynchronous model makes no
+// delivery-time promises; the detector tolerates it and the next round
+// retries).
+func (t *Transport) Send(to ident.ID, payload any) {
+	frame, err := wire.Encode(payload)
+	if err != nil {
+		return
+	}
+	c, err := t.conn(to)
+	if err != nil {
+		return
+	}
+	t.write.Lock()
+	err = writeFrame(c, frame)
+	t.write.Unlock()
+	if err != nil {
+		t.dropConn(to, c)
+	}
+}
+
+// Broadcast implements node.Env: one Send per registered peer.
+func (t *Transport) Broadcast(payload any) {
+	t.mu.Lock()
+	targets := make([]ident.ID, 0, len(t.peers))
+	for id := range t.peers {
+		if id != t.cfg.Self {
+			targets = append(targets, id)
+		}
+	}
+	t.mu.Unlock()
+	ident.SortIDs(targets)
+	for _, id := range targets {
+		t.Send(id, payload)
+	}
+}

@@ -1,0 +1,194 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"asyncfd/internal/core"
+	"asyncfd/internal/heartbeat"
+	"asyncfd/internal/ident"
+)
+
+// collector accumulates deliveries.
+type collector struct {
+	mu  sync.Mutex
+	got []any
+	ch  chan struct{}
+}
+
+func newCollector() *collector { return &collector{ch: make(chan struct{}, 64)} }
+
+func (c *collector) Deliver(_ ident.ID, payload any) {
+	c.mu.Lock()
+	c.got = append(c.got, payload)
+	c.mu.Unlock()
+	select {
+	case c.ch <- struct{}{}:
+	default:
+	}
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func TestNewRequiresHandler(t *testing.T) {
+	if _, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("missing handler accepted")
+	}
+}
+
+func TestSendReceive(t *testing.T) {
+	colA, colB := newCollector(), newCollector()
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: colA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: colB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(1, b.Addr())
+	b.AddPeer(0, a.Addr())
+
+	a.Send(1, heartbeat.Message{From: 0, Seq: 42})
+	select {
+	case <-colB.ch:
+	case <-time.After(3 * time.Second):
+		t.Fatal("delivery timed out")
+	}
+	colB.mu.Lock()
+	m, ok := colB.got[0].(heartbeat.Message)
+	colB.mu.Unlock()
+	if !ok || m.Seq != 42 || m.From != 0 {
+		t.Fatalf("got %+v", colB.got)
+	}
+
+	// Reverse direction (b dials its own connection).
+	b.Send(0, heartbeat.Message{From: 1, Seq: 7})
+	select {
+	case <-colA.ch:
+	case <-time.After(3 * time.Second):
+		t.Fatal("reverse delivery timed out")
+	}
+}
+
+func TestSendToUnknownPeerDropped(t *testing.T) {
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Send(9, heartbeat.Message{From: 0, Seq: 1}) // no peer registered: no panic
+	a.Send(1, "unencodable")                      // unsupported payload: no panic
+}
+
+func TestTimerAndClose(t *testing.T) {
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{})
+	a.After(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire")
+	}
+	tm := a.After(time.Hour, func() { t.Error("must not fire") })
+	if !tm.Stop() {
+		t.Error("Stop pending = false")
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if a.After(time.Millisecond, func() {}).Stop() {
+		t.Error("After on closed transport returned live timer")
+	}
+}
+
+// TestFDOverTCP runs the time-free failure detector across real sockets:
+// three processes on localhost; one endpoint is torn down and the survivors
+// must suspect it.
+func TestFDOverTCP(t *testing.T) {
+	const n, f = 3, 1
+	transports := make([]*Transport, n)
+	nodes := make([]*core.Node, n)
+	cells := make([]*cell, n)
+
+	for i := 0; i < n; i++ {
+		cells[i] = &cell{}
+		tr, err := New(Config{Self: ident.ID(i), ListenAddr: "127.0.0.1:0", Handler: cells[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				transports[i].AddPeer(ident.ID(j), transports[j].Addr())
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		nd, err := core.NewNode(transports[i], core.NodeConfig{
+			Detector: core.Config{Self: ident.ID(i), N: n, F: f},
+			Window:   20 * time.Millisecond,
+			Interval: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells[i].n = nd
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	time.Sleep(500 * time.Millisecond) // steady state across real sockets
+	for i := 0; i < 2; i++ {
+		if s := nodes[i].Suspects(); !s.Empty() {
+			t.Logf("transient suspicions at steady state on node %d: %v", i, s)
+		}
+	}
+
+	nodes[2].Stop()
+	transports[2].Close() // process 2 "crashes"
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if nodes[0].IsSuspected(2) && nodes[1].IsSuspected(2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors did not suspect the dead endpoint: p0=%v p1=%v",
+				nodes[0].Suspects(), nodes[1].Suspects())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	nodes[0].Stop()
+	nodes[1].Stop()
+}
+
+type cell struct{ n *core.Node }
+
+func (c *cell) Deliver(from ident.ID, payload any) {
+	if c.n != nil {
+		c.n.Deliver(from, payload)
+	}
+}

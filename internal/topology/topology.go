@@ -1,0 +1,321 @@
+// Package topology builds and checks the communication graphs used by the
+// partial-connectivity extension: geometric (radio-range) graphs, the
+// f-covering generator of the extension report, circulant graphs for
+// controlled density sweeps, and vertex-connectivity checks backing the
+// f-covering property (G must be (f+1)-connected, by Menger's theorem).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"asyncfd/internal/ident"
+)
+
+// Point is a position in the simulation region.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Graph is an undirected communication graph over processes 0..n-1.
+type Graph struct {
+	n   int
+	adj []ident.Set
+	pos []Point // optional geometric embedding (nil if abstract)
+}
+
+// New returns an edgeless graph on n vertices.
+func New(n int) *Graph {
+	adj := make([]ident.Set, n)
+	for i := range adj {
+		adj[i] = ident.NewSet(n)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}; self-loops are ignored.
+func (g *Graph) AddEdge(a, b ident.ID) {
+	if a == b || !a.Valid() || !b.Valid() || int(a) >= g.n || int(b) >= g.n {
+		return
+	}
+	g.adj[a].Add(b)
+	g.adj[b].Add(a)
+}
+
+// RemoveEdge deletes the undirected edge {a, b} if present.
+func (g *Graph) RemoveEdge(a, b ident.ID) {
+	if !a.Valid() || !b.Valid() || int(a) >= g.n || int(b) >= g.n {
+		return
+	}
+	g.adj[a].Remove(b)
+	g.adj[b].Remove(a)
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Graph) HasEdge(a, b ident.ID) bool {
+	return a.Valid() && int(a) < g.n && g.adj[a].Has(b)
+}
+
+// Neighbors returns a copy of a's adjacency set.
+func (g *Graph) Neighbors(a ident.ID) ident.Set { return g.adj[a].Clone() }
+
+// Degree returns the number of neighbors of a.
+func (g *Graph) Degree(a ident.ID) int { return g.adj[a].Len() }
+
+// Position returns the geometric embedding of a, if any.
+func (g *Graph) Position(a ident.ID) (Point, bool) {
+	if g.pos == nil || int(a) >= len(g.pos) {
+		return Point{}, false
+	}
+	return g.pos[a], true
+}
+
+// RangeDensity returns d: the size of the smallest range set, i.e. the
+// minimum degree plus one (the range includes the node itself).
+func (g *Graph) RangeDensity() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.adj[0].Len()
+	for _, a := range g.adj[1:] {
+		if l := a.Len(); l < min {
+			min = l
+		}
+	}
+	return min + 1
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool { return g.ConnectedExcluding(ident.Set{}) }
+
+// ConnectedExcluding reports whether the graph restricted to vertices not in
+// removed is connected (vacuously true when one or zero vertices remain).
+func (g *Graph) ConnectedExcluding(removed ident.Set) bool {
+	start := ident.Nil
+	remaining := 0
+	for i := 0; i < g.n; i++ {
+		if !removed.Has(ident.ID(i)) {
+			if start == ident.Nil {
+				start = ident.ID(i)
+			}
+			remaining++
+		}
+	}
+	if remaining <= 1 {
+		return true
+	}
+	visited := ident.NewSet(g.n)
+	visited.Add(start)
+	queue := []ident.ID{start}
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.adj[v].ForEach(func(w ident.ID) bool {
+			if !removed.Has(w) && !visited.Has(w) {
+				visited.Add(w)
+				seen++
+				queue = append(queue, w)
+			}
+			return true
+		})
+	}
+	return seen == remaining
+}
+
+// VertexConnectivityAtLeast reports whether the vertex connectivity κ(G) is
+// ≥ k: by Menger's theorem, every pair of distinct non-adjacent vertices
+// must be joined by at least k internally vertex-disjoint paths. It runs a
+// unit-capacity max-flow on the vertex-split graph for every non-adjacent
+// pair; fine for the experiment-scale graphs used here.
+func (g *Graph) VertexConnectivityAtLeast(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if g.n <= k {
+		return false // κ(G) ≤ n−1, and complete graphs cap at n−1
+	}
+	for s := 0; s < g.n; s++ {
+		for t := s + 1; t < g.n; t++ {
+			if g.adj[ident.ID(s)].Has(ident.ID(t)) {
+				continue
+			}
+			if g.maxVertexDisjointPaths(ident.ID(s), ident.ID(t), k) < k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsFCovering reports the paper's f-covering property: G is (f+1)-connected.
+func (g *Graph) IsFCovering(f int) bool { return g.VertexConnectivityAtLeast(f + 1) }
+
+// maxVertexDisjointPaths counts internally vertex-disjoint s–t paths up to
+// the bound via augmenting BFS on the standard vertex-split transform:
+// vertex v becomes v_in → v_out with capacity 1 (except s and t).
+func (g *Graph) maxVertexDisjointPaths(s, t ident.ID, bound int) int {
+	// Node indices: v_in = 2v, v_out = 2v+1.
+	type edge struct {
+		to  int
+		cap int
+		rev int // index of reverse edge in adj[to]
+	}
+	adj := make([][]edge, 2*g.n)
+	addEdge := func(u, v, c int) {
+		adj[u] = append(adj[u], edge{to: v, cap: c, rev: len(adj[v])})
+		adj[v] = append(adj[v], edge{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	for v := 0; v < g.n; v++ {
+		capacity := 1
+		if ident.ID(v) == s || ident.ID(v) == t {
+			capacity = bound // endpoints are not interior vertices
+		}
+		addEdge(2*v, 2*v+1, capacity)
+		g.adj[ident.ID(v)].ForEach(func(w ident.ID) bool {
+			addEdge(2*v+1, 2*int(w), 1)
+			return true
+		})
+	}
+	source, sink := 2*int(s)+1, 2*int(t)
+	flow := 0
+	for flow < bound {
+		// BFS for an augmenting path.
+		parent := make([]int, len(adj))
+		parentEdge := make([]int, len(adj))
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[source] = source
+		queue := []int{source}
+		for len(queue) > 0 && parent[sink] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for i, e := range adj[u] {
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = u
+					parentEdge[e.to] = i
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[sink] == -1 {
+			break
+		}
+		// Augment by 1 along the path.
+		v := sink
+		for v != source {
+			u := parent[v]
+			e := &adj[u][parentEdge[v]]
+			e.cap--
+			adj[v][e.rev].cap++
+			v = u
+		}
+		flow++
+	}
+	return flow
+}
+
+// Geometric builds the radio graph of the given positions: an edge joins two
+// nodes iff they are within transmission range r of each other.
+func Geometric(positions []Point, r float64) *Graph {
+	g := New(len(positions))
+	g.pos = append([]Point(nil), positions...)
+	for i := range positions {
+		for j := i + 1; j < len(positions); j++ {
+			if positions[i].Dist(positions[j]) <= r {
+				g.AddEdge(ident.ID(i), ident.ID(j))
+			}
+		}
+	}
+	return g
+}
+
+// Circulant builds the circulant graph C_n(1..k): vertex i is adjacent to
+// i±1, …, i±k (mod n). Its vertex connectivity is 2k and its range density
+// is 2k+1 — a convenient family for controlled density sweeps.
+func Circulant(n, k int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			g.AddEdge(ident.ID(i), ident.ID((i+j)%n))
+		}
+	}
+	return g
+}
+
+// GenConfig parameterizes the f-covering generator.
+type GenConfig struct {
+	// N is the target node count.
+	N int
+	// F is the crash bound the covering must survive.
+	F int
+	// Width and Height bound the region (the extension report uses
+	// 700m × 700m).
+	Width, Height float64
+	// Range is the transmission radius r (the report uses 100m).
+	Range float64
+	// MaxAttempts bounds placement retries per node (default 10000).
+	MaxAttempts int
+}
+
+// GenerateFCovering reproduces the extension report's topology construction:
+// seed a clique of f+2 nodes on a circle of radius r/2 at the region center,
+// then insert nodes at random positions, accepting a position only if it has
+// at least f+1 neighbors in the current graph. The result is connected with
+// minimum degree ≥ f+1 by construction; callers that need the full
+// (f+1)-connectivity guarantee can verify with IsFCovering.
+func GenerateFCovering(r *rand.Rand, cfg GenConfig) (*Graph, error) {
+	if cfg.N < cfg.F+2 {
+		return nil, fmt.Errorf("topology: need N ≥ F+2, got N=%d F=%d", cfg.N, cfg.F)
+	}
+	if cfg.Range <= 0 || cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, errors.New("topology: Range, Width and Height must be positive")
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 10000
+	}
+	center := Point{X: cfg.Width / 2, Y: cfg.Height / 2}
+	positions := make([]Point, 0, cfg.N)
+	seed := cfg.F + 2
+	for i := 0; i < seed; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(seed)
+		positions = append(positions, Point{
+			X: center.X + cfg.Range/2*math.Cos(angle),
+			Y: center.Y + cfg.Range/2*math.Sin(angle),
+		})
+	}
+	for len(positions) < cfg.N {
+		placed := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			p := Point{X: r.Float64() * cfg.Width, Y: r.Float64() * cfg.Height}
+			neighbors := 0
+			for _, q := range positions {
+				if p.Dist(q) <= cfg.Range {
+					neighbors++
+				}
+			}
+			if neighbors >= cfg.F+1 {
+				positions = append(positions, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("topology: could not place node %d after %d attempts", len(positions), maxAttempts)
+		}
+	}
+	return Geometric(positions, cfg.Range), nil
+}

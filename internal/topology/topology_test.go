@@ -1,0 +1,244 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asyncfd/internal/ident"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	g.AddEdge(2, 2) // self-loop ignored
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop inserted")
+	}
+	g.AddEdge(0, 99) // out of range ignored
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) {
+		t.Error("edge not removed")
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestDegreeAndDensity(t *testing.T) {
+	g := New(4) // path 0-1-2-3
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Error("degrees wrong")
+	}
+	if g.RangeDensity() != 2 {
+		t.Errorf("RangeDensity = %d, want min-degree+1 = 2", g.RangeDensity())
+	}
+	if New(0).RangeDensity() != 0 {
+		t.Error("empty graph density nonzero")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	g.AddEdge(1, 2)
+	if !g.Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+}
+
+func TestConnectedExcluding(t *testing.T) {
+	// Star centered at 0: removing 0 disconnects.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if !g.Connected() {
+		t.Fatal("star not connected")
+	}
+	if g.ConnectedExcluding(ident.SetOf(0)) {
+		t.Error("star minus center reported connected")
+	}
+	if !g.ConnectedExcluding(ident.SetOf(1, 2)) {
+		t.Error("star minus two leaves reported disconnected")
+	}
+	if !g.ConnectedExcluding(ident.SetOf(0, 1, 2)) {
+		t.Error("single remaining vertex should be vacuously connected")
+	}
+}
+
+func TestVertexConnectivity(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Graph
+		kappa int // exact vertex connectivity
+	}{
+		{"path4", func() *Graph {
+			g := New(4)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(2, 3)
+			return g
+		}, 1},
+		{"cycle5", func() *Graph { return Circulant(5, 1) }, 2},
+		{"circulant8_2", func() *Graph { return Circulant(8, 2) }, 4},
+		{"complete5", func() *Graph { return Circulant(5, 2) }, 4},
+		{"two-triangles-bridge", func() *Graph {
+			g := New(6)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(0, 2)
+			g.AddEdge(3, 4)
+			g.AddEdge(4, 5)
+			g.AddEdge(3, 5)
+			g.AddEdge(2, 3)
+			return g
+		}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := tt.build()
+			if !g.VertexConnectivityAtLeast(tt.kappa) {
+				t.Errorf("connectivity ≥ %d = false", tt.kappa)
+			}
+			if g.VertexConnectivityAtLeast(tt.kappa + 1) {
+				t.Errorf("connectivity ≥ %d = true", tt.kappa+1)
+			}
+			if !g.VertexConnectivityAtLeast(0) {
+				t.Error("connectivity ≥ 0 must always hold")
+			}
+		})
+	}
+}
+
+func TestIsFCovering(t *testing.T) {
+	// C_8(1..2) is 4-connected: f-covering for f ≤ 3.
+	g := Circulant(8, 2)
+	if !g.IsFCovering(3) {
+		t.Error("C_8(1,2) should be 3-covering")
+	}
+	if g.IsFCovering(4) {
+		t.Error("C_8(1,2) is not 4-covering")
+	}
+}
+
+// TestQuickMengerSpotCheck cross-validates VertexConnectivityAtLeast against
+// brute-force vertex removal on random small graphs: if κ ≥ k then removing
+// any k−1 vertices leaves the graph connected, and if κ < k some (k−1)-set
+// disconnects it.
+func TestQuickMengerSpotCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(3) // 5..7
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) > 0 { // dense-ish
+					g.AddEdge(ident.ID(i), ident.ID(j))
+				}
+			}
+		}
+		const k = 2
+		claim := g.VertexConnectivityAtLeast(k)
+		// Brute force: remove every single vertex (k−1 = 1) and check
+		// connectivity; κ ≥ 2 iff connected and no cut vertex.
+		brute := g.Connected() && n > k
+		for v := 0; v < n && brute; v++ {
+			if !g.ConnectedExcluding(ident.SetOf(ident.ID(v))) {
+				brute = false
+			}
+		}
+		return claim == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	pos := []Point{{0, 0}, {0, 5}, {0, 11}}
+	g := Geometric(pos, 6)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Error("geometric edges wrong")
+	}
+	if p, ok := g.Position(1); !ok || p.Y != 5 {
+		t.Error("position not preserved")
+	}
+	if _, ok := New(2).Position(0); ok {
+		t.Error("abstract graph reported a position")
+	}
+}
+
+func TestCirculantShape(t *testing.T) {
+	g := Circulant(10, 3)
+	for i := 0; i < 10; i++ {
+		if g.Degree(ident.ID(i)) != 6 {
+			t.Fatalf("degree of %d = %d, want 6", i, g.Degree(ident.ID(i)))
+		}
+	}
+	if g.RangeDensity() != 7 {
+		t.Errorf("density = %d, want 7", g.RangeDensity())
+	}
+}
+
+func TestGenerateFCovering(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g, err := GenerateFCovering(r, GenConfig{
+		N: 40, F: 2, Width: 700, Height: 700, Range: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 40 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("generated graph disconnected")
+	}
+	if d := g.RangeDensity(); d < 2+2 { // min degree ≥ f+1 ⇒ d ≥ f+2
+		t.Errorf("density = %d, want ≥ f+2 = 4", d)
+	}
+}
+
+func TestGenerateFCoveringErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := GenerateFCovering(r, GenConfig{N: 2, F: 2, Width: 1, Height: 1, Range: 1}); err == nil {
+		t.Error("N < F+2 accepted")
+	}
+	if _, err := GenerateFCovering(r, GenConfig{N: 5, F: 1, Width: 0, Height: 1, Range: 1}); err == nil {
+		t.Error("zero width accepted")
+	}
+	// An impossible placement (range too small relative to region) must
+	// terminate with an error, not loop forever.
+	if _, err := GenerateFCovering(r, GenConfig{
+		N: 30, F: 1, Width: 1e9, Height: 1e9, Range: 1, MaxAttempts: 50,
+	}); err == nil {
+		t.Error("impossible placement succeeded")
+	}
+}
+
+func TestDistAndPoints(t *testing.T) {
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}
+
+func BenchmarkConnectivityCheck(b *testing.B) {
+	g := Circulant(24, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !g.VertexConnectivityAtLeast(3) {
+			b.Fatal("unexpected")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace records timestamped suspicion transitions emitted by
+// failure-detector implementations. The log is the raw material for all QoS
+// metrics (internal/qos) and for the figure-style time series in the
+// experiment harness.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+)
+
+// Event is one suspicion transition: observer started/stopped suspecting
+// subject at At.
+type Event struct {
+	At        time.Duration
+	Observer  ident.ID
+	Subject   ident.ID
+	Suspected bool
+}
+
+// String renders the event for debugging.
+func (e Event) String() string {
+	verb := "suspects"
+	if !e.Suspected {
+		verb = "trusts"
+	}
+	return fmt.Sprintf("%v %v %s %v", e.At, e.Observer, verb, e.Subject)
+}
+
+// Log accumulates events. It is safe for concurrent use and implements
+// fd.SuspicionSink. The zero value is ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ fd.SuspicionSink = (*Log)(nil)
+
+// OnSuspicion implements fd.SuspicionSink.
+func (l *Log) OnSuspicion(at time.Duration, observer, subject ident.ID, suspected bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{At: at, Observer: observer, Subject: subject, Suspected: suspected})
+}
+
+// Append adds an event directly (tests, synthetic traces).
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the log in recording order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = l.events[:0]
+}
+
+// FirstSuspicion returns the earliest time observer suspected subject, or
+// ok=false if it never did.
+func (l *Log) FirstSuspicion(observer, subject ident.ID) (time.Duration, bool) {
+	for _, e := range l.Events() {
+		if e.Observer == observer && e.Subject == subject && e.Suspected {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// LastTransition returns the last event observer recorded about subject, or
+// ok=false if there is none.
+func (l *Log) LastTransition(observer, subject ident.ID) (Event, bool) {
+	events := l.Events()
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Observer == observer && e.Subject == subject {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// SuspectedAt replays the log and reports whether observer suspected subject
+// at time at (events at exactly at are included).
+func (l *Log) SuspectedAt(observer, subject ident.ID, at time.Duration) bool {
+	suspected := false
+	for _, e := range l.Events() {
+		if e.At > at {
+			break
+		}
+		if e.Observer == observer && e.Subject == subject {
+			suspected = e.Suspected
+		}
+	}
+	return suspected
+}
+
+// SuspicionCountSeries samples, at each instant of times, how many
+// (observer, subject) pairs are in the suspected state, counting only
+// subjects for which include returns true (pass nil to count all). The
+// series is the raw data of the "false suspicions over time" figure.
+func (l *Log) SuspicionCountSeries(times []time.Duration, include func(subject ident.ID) bool) []int {
+	events := l.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	type pair struct{ o, s ident.ID }
+	active := make(map[pair]bool)
+	out := make([]int, len(times))
+	idx := 0
+	for i, t := range times {
+		for idx < len(events) && events[idx].At <= t {
+			e := events[idx]
+			if include == nil || include(e.Subject) {
+				if e.Suspected {
+					active[pair{e.Observer, e.Subject}] = true
+				} else {
+					delete(active, pair{e.Observer, e.Subject})
+				}
+			}
+			idx++
+		}
+		out[i] = len(active)
+	}
+	return out
+}
+
+// String renders the whole log, one event per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

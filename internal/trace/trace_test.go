@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncfd/internal/ident"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func sampleLog() *Log {
+	l := &Log{}
+	l.OnSuspicion(sec(1), 0, 2, true)
+	l.OnSuspicion(sec(2), 1, 2, true)
+	l.OnSuspicion(sec(3), 0, 2, false)
+	l.OnSuspicion(sec(5), 0, 2, true)
+	return l
+}
+
+func TestLenAndEvents(t *testing.T) {
+	l := sampleLog()
+	if l.Len() != 4 {
+		t.Errorf("Len = %d, want 4", l.Len())
+	}
+	evs := l.Events()
+	if len(evs) != 4 || evs[0].At != sec(1) || !evs[0].Suspected {
+		t.Errorf("Events = %v", evs)
+	}
+	// The returned slice is a copy.
+	evs[0].At = 0
+	if l.Events()[0].At != sec(1) {
+		t.Error("Events returned aliased storage")
+	}
+}
+
+func TestFirstSuspicion(t *testing.T) {
+	l := sampleLog()
+	at, ok := l.FirstSuspicion(0, 2)
+	if !ok || at != sec(1) {
+		t.Errorf("FirstSuspicion = %v,%v", at, ok)
+	}
+	if _, ok := l.FirstSuspicion(3, 2); ok {
+		t.Error("FirstSuspicion for absent observer = true")
+	}
+	if _, ok := l.FirstSuspicion(0, 9); ok {
+		t.Error("FirstSuspicion for absent subject = true")
+	}
+}
+
+func TestLastTransition(t *testing.T) {
+	l := sampleLog()
+	e, ok := l.LastTransition(0, 2)
+	if !ok || e.At != sec(5) || !e.Suspected {
+		t.Errorf("LastTransition = %+v,%v", e, ok)
+	}
+	if _, ok := l.LastTransition(9, 9); ok {
+		t.Error("LastTransition for absent pair = true")
+	}
+}
+
+func TestSuspectedAt(t *testing.T) {
+	l := sampleLog()
+	tests := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{sec(1), true}, // inclusive
+		{sec(2), true},
+		{sec(3), false},
+		{sec(4), false},
+		{sec(5), true},
+	}
+	for _, tt := range tests {
+		if got := l.SuspectedAt(0, 2, tt.at); got != tt.want {
+			t.Errorf("SuspectedAt(p0,p2,%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestSuspicionCountSeries(t *testing.T) {
+	l := sampleLog()
+	times := []time.Duration{0, sec(1), sec(2), sec(3), sec(5)}
+	got := l.SuspicionCountSeries(times, nil)
+	want := []int{0, 1, 2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+	// Filter to a subject that never appears.
+	got = l.SuspicionCountSeries(times, func(s ident.ID) bool { return s == 9 })
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("filtered series = %v, want zeros", got)
+		}
+	}
+}
+
+func TestAppendAndReset(t *testing.T) {
+	l := &Log{}
+	l.Append(Event{At: sec(1), Observer: 0, Subject: 1, Suspected: true})
+	if l.Len() != 1 {
+		t.Error("Append did not record")
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sec(2), Observer: 1, Subject: 3, Suspected: true}
+	if got := e.String(); !strings.Contains(got, "suspects") || !strings.Contains(got, "p3") {
+		t.Errorf("Event.String = %q", got)
+	}
+	e.Suspected = false
+	if got := e.String(); !strings.Contains(got, "trusts") {
+		t.Errorf("Event.String = %q", got)
+	}
+}
+
+func TestLogString(t *testing.T) {
+	l := sampleLog()
+	s := l.String()
+	if strings.Count(s, "\n") != 4 {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	l := &Log{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.OnSuspicion(time.Duration(i), ident.ID(g), 0, i%2 == 0)
+				_ = l.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d, want 800", l.Len())
+	}
+}

@@ -1,0 +1,195 @@
+// Package unknown runs the failure detector in its extension setting: an
+// unknown, partially connected, possibly mobile network. It is NOT part of
+// the reproduced DSN 2003 paper (known membership, full connectivity) — it
+// implements the direction the paper's future work points to, published
+// later as INRIA RR-6088: processes initially know only themselves, learn
+// their range from received queries, wait for d−f responses (d = range
+// density), and flood suspicions/mistakes across hops inside queries; a
+// mobility rule prunes remote processes from the known set.
+//
+// The heavy lifting lives in internal/core (the same state machine serves
+// both models); this package wires core nodes onto a topology.Graph over the
+// simulated radio network and provides the mobility choreography used by the
+// X1/X2 extension experiments.
+package unknown
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"asyncfd/internal/core"
+	"asyncfd/internal/des"
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/topology"
+	"asyncfd/internal/trace"
+)
+
+// ClusterConfig describes a partial-connectivity deployment.
+type ClusterConfig struct {
+	// Graph is the communication topology (required). It should be
+	// f-covering, i.e. (F+1)-connected, for the ◇S guarantees to hold.
+	Graph *topology.Graph
+	// F is the crash bound.
+	F int
+	// D overrides the range density; by default it is computed from Graph.
+	// The paper requires d > f+1.
+	D int
+	// Seed seeds the simulation.
+	Seed int64
+	// Delay is the per-link latency model (required).
+	Delay netsim.DelayModel
+	// Window, Interval and Rebroadcast configure the query rounds (see
+	// core.NodeConfig). Mobility scenarios need Rebroadcast > 0 so that a
+	// node whose query was lost while disconnected re-queries.
+	Window      time.Duration
+	Interval    time.Duration
+	Rebroadcast time.Duration
+	// Mobility enables the known-set eviction rule of the extension.
+	Mobility bool
+	// StartJitter staggers node start times uniformly over [0, StartJitter)
+	// (0 = all nodes start at t=0).
+	StartJitter time.Duration
+}
+
+// Cluster is a running partial-topology deployment.
+type Cluster struct {
+	Sim   *des.Simulator
+	Net   *netsim.Network
+	Log   *trace.Log
+	Graph *topology.Graph
+	D     int
+
+	cfg   ClusterConfig
+	nodes []*core.Node
+	adj   []ident.Set // current (mutable) neighborhoods
+}
+
+type cell struct{ n *core.Node }
+
+func (c *cell) Deliver(from ident.ID, payload any) {
+	if c.n != nil {
+		c.n.Deliver(from, payload)
+	}
+}
+
+// NewCluster builds and starts one detector per vertex of the graph.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("unknown: ClusterConfig.Graph is required")
+	}
+	if cfg.Delay == nil {
+		return nil, errors.New("unknown: ClusterConfig.Delay is required")
+	}
+	n := cfg.Graph.Len()
+	d := cfg.D
+	if d == 0 {
+		d = cfg.Graph.RangeDensity()
+	}
+	if d <= cfg.F+1 {
+		return nil, fmt.Errorf("unknown: need d > f+1, got d=%d f=%d", d, cfg.F)
+	}
+	c := &Cluster{
+		Sim:   des.New(cfg.Seed),
+		Log:   &trace.Log{},
+		Graph: cfg.Graph,
+		D:     d,
+		cfg:   cfg,
+		nodes: make([]*core.Node, n),
+		adj:   make([]ident.Set, n),
+	}
+	c.Net = netsim.New(c.Sim, netsim.Config{Delay: cfg.Delay})
+	for i := 0; i < n; i++ {
+		id := ident.ID(i)
+		cl := &cell{}
+		env := c.Net.AddNode(id, cl)
+		nd, err := core.NewNode(env, core.NodeConfig{
+			Detector: core.Config{
+				Self:       id,
+				Membership: core.UnknownMembership,
+				F:          cfg.F,
+				D:          d,
+				Mobility:   cfg.Mobility,
+			},
+			Window:      cfg.Window,
+			Interval:    cfg.Interval,
+			Rebroadcast: cfg.Rebroadcast,
+			Sink:        c.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.n = nd
+		c.nodes[i] = nd
+		c.adj[i] = cfg.Graph.Neighbors(id)
+		c.Net.SetNeighbors(id, c.adj[i])
+	}
+	for _, nd := range c.nodes {
+		nd := nd
+		var jitter time.Duration
+		if cfg.StartJitter > 0 {
+			jitter = time.Duration(c.Sim.Rand().Int63n(int64(cfg.StartJitter)))
+		}
+		c.Sim.At(jitter, nd.Start)
+	}
+	return c, nil
+}
+
+// Node returns the detector runtime of id.
+func (c *Cluster) Node(id ident.ID) *core.Node { return c.nodes[id] }
+
+// Detector returns the oracle of id.
+func (c *Cluster) Detector(id ident.ID) fd.Detector { return c.nodes[id] }
+
+// RunUntil advances virtual time.
+func (c *Cluster) RunUntil(t time.Duration) { c.Sim.RunUntil(t) }
+
+// CrashAt schedules a crash-stop failure.
+func (c *Cluster) CrashAt(id ident.ID, at time.Duration) {
+	c.Sim.At(at, func() { c.Net.Crash(id) })
+}
+
+// setNeighborsNow rewrites id's neighborhood (both directions) immediately.
+func (c *Cluster) setNeighborsNow(id ident.ID, neighbors ident.Set) {
+	old := c.adj[id]
+	old.ForEach(func(o ident.ID) bool {
+		if !neighbors.Has(o) {
+			c.adj[o].Remove(id)
+			c.Net.SetNeighbors(o, c.adj[o])
+		}
+		return true
+	})
+	neighbors.ForEach(func(o ident.ID) bool {
+		c.adj[o].Add(id)
+		c.Net.SetNeighbors(o, c.adj[o])
+		return true
+	})
+	c.adj[id] = neighbors.Clone()
+	c.adj[id].Remove(id)
+	c.Net.SetNeighbors(id, c.adj[id])
+}
+
+// DisconnectAt separates id from the network during [from, to): a moving
+// node that later reconnects at the same place. While separated it sends and
+// receives nothing (the paper's model: the node stops interacting but keeps
+// its state).
+func (c *Cluster) DisconnectAt(id ident.ID, from, to time.Duration) {
+	saved := ident.Set{}
+	c.Sim.At(from, func() {
+		saved = c.adj[id].Clone()
+		c.setNeighborsNow(id, ident.Set{})
+	})
+	c.Sim.At(to, func() {
+		c.setNeighborsNow(id, saved)
+	})
+}
+
+// RelocateAt disconnects id at time from and reattaches it at time to with a
+// brand-new neighborhood: the full mobility scenario of the extension (the
+// node "moves to another range").
+func (c *Cluster) RelocateAt(id ident.ID, newNeighbors ident.Set, from, to time.Duration) {
+	c.Sim.At(from, func() { c.setNeighborsNow(id, ident.Set{}) })
+	c.Sim.At(to, func() { c.setNeighborsNow(id, newNeighbors) })
+}

@@ -1,0 +1,169 @@
+package unknown
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"asyncfd/internal/ident"
+	"asyncfd/internal/netsim"
+	"asyncfd/internal/topology"
+)
+
+func defaultConfig(g *topology.Graph, f int) ClusterConfig {
+	return ClusterConfig{
+		Graph:       g,
+		F:           f,
+		Seed:        1,
+		Delay:       netsim.Uniform{Min: 500 * time.Microsecond, Max: 3 * time.Millisecond},
+		Window:      20 * time.Millisecond,
+		Interval:    100 * time.Millisecond,
+		Rebroadcast: 500 * time.Millisecond,
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	g := topology.Circulant(8, 2) // d = 5
+	if _, err := NewCluster(ClusterConfig{F: 1, Delay: netsim.Constant{}}); err == nil {
+		t.Error("missing graph accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Graph: g, F: 1}); err == nil {
+		t.Error("missing delay accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Graph: g, F: 4, Delay: netsim.Constant{}}); err == nil {
+		t.Error("d ≤ f+1 accepted")
+	}
+}
+
+func TestMembershipDiscovery(t *testing.T) {
+	// After a few rounds every node's known set must equal its range
+	// (1-hop neighbors + itself): membership is learned, never configured.
+	g := topology.Circulant(10, 2)
+	c, err := NewCluster(defaultConfig(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(2 * time.Second)
+	for i := 0; i < 10; i++ {
+		id := ident.ID(i)
+		known := c.Node(id).Known()
+		want := g.Neighbors(id)
+		want.Add(id)
+		if !known.Equal(want) {
+			t.Errorf("node %v known = %v, want its range %v", id, known, want)
+		}
+	}
+}
+
+func TestCompletenessAcrossHops(t *testing.T) {
+	// C_12(1,2): diameter 3. A crash must eventually be suspected by every
+	// correct node, including those multiple hops away (gossip inside
+	// queries).
+	g := topology.Circulant(12, 2) // d = 5
+	c, err := NewCluster(defaultConfig(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CrashAt(0, 3*time.Second)
+	c.RunUntil(60 * time.Second)
+	for i := 1; i < 12; i++ {
+		if !c.Detector(ident.ID(i)).IsSuspected(0) {
+			t.Errorf("node %d (multi-hop) does not suspect the crashed node", i)
+		}
+	}
+	// And nobody suspects a live node at the end.
+	for i := 1; i < 12; i++ {
+		s := c.Detector(ident.ID(i)).Suspects()
+		s.Remove(0)
+		if !s.Empty() {
+			t.Errorf("node %d holds false suspicions %v", i, s)
+		}
+	}
+}
+
+func TestDisconnectReconnectSelfCorrects(t *testing.T) {
+	g := topology.Circulant(10, 3) // d = 7
+	cfg := defaultConfig(g, 2)
+	cfg.Mobility = true
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DisconnectAt(0, 5*time.Second, 10*time.Second)
+	c.RunUntil(60 * time.Second)
+
+	// During the absence, someone must have suspected the mover.
+	if _, ok := c.Log.FirstSuspicion(1, 0); !ok {
+		t.Fatal("neighbor never suspected the disconnected node; scenario too weak")
+	}
+	// Long after reconnection, no suspicions remain in either direction.
+	for i := 0; i < 10; i++ {
+		if s := c.Detector(ident.ID(i)).Suspects(); !s.Empty() {
+			t.Errorf("node %d still suspects %v after reconnection", i, s)
+		}
+	}
+}
+
+func TestRelocateEvictsOldRangeFromKnown(t *testing.T) {
+	// Full mobility: node 0 moves from one side of the ring to the other.
+	// With the mobility rule, its old neighbors must eventually evict it
+	// from their known sets (and vice versa), ending the ping-pong of
+	// suspicions.
+	g := topology.Circulant(20, 3) // d = 7
+	cfg := defaultConfig(g, 2)
+	cfg.Mobility = true
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newNeighbors := ident.SetOf(9, 10, 11, 12, 13, 14)
+	c.RelocateAt(0, newNeighbors, 5*time.Second, 10*time.Second)
+	c.RunUntil(120 * time.Second)
+
+	// No lingering suspicions anywhere.
+	for i := 0; i < 20; i++ {
+		if s := c.Detector(ident.ID(i)).Suspects(); !s.Empty() {
+			t.Errorf("node %d still suspects %v long after the move", i, s)
+		}
+	}
+	// The mover's known set must now be its new range.
+	known := c.Node(0).Known()
+	want := newNeighbors.Clone()
+	want.Add(0)
+	if !known.Equal(want) {
+		t.Errorf("mover known = %v, want new range %v", known, want)
+	}
+	// Old direct neighbors no longer know the mover.
+	for _, old := range []ident.ID{1, 2, 3, 17, 18, 19} {
+		if c.Node(old).Known().Has(0) {
+			t.Errorf("old neighbor %v still knows the mover", old)
+		}
+	}
+}
+
+func TestFCoveringGeneratedTopology(t *testing.T) {
+	// End-to-end on a generated geometric f-covering network.
+	gen, err := topology.GenerateFCovering(randSource(7), topology.GenConfig{
+		N: 25, F: 2, Width: 700, Height: 700, Range: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultConfig(gen, 2)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CrashAt(3, 5*time.Second)
+	c.RunUntil(90 * time.Second)
+	for i := 0; i < 25; i++ {
+		if i == 3 {
+			continue
+		}
+		if !c.Detector(ident.ID(i)).IsSuspected(3) {
+			t.Errorf("node %d does not suspect the crashed node on the geometric topology", i)
+		}
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"asyncfd/internal/core"
+	"asyncfd/internal/core/tagset"
+	"asyncfd/internal/heartbeat"
+	"asyncfd/internal/ident"
+)
+
+func roundTrip(t *testing.T, payload any) any {
+	t.Helper()
+	b, err := Encode(payload)
+	if err != nil {
+		t.Fatalf("Encode(%+v): %v", payload, err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(%x): %v", b, err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := core.Query{
+		From:  3,
+		Round: 77,
+		Suspected: []tagset.Entry{
+			{ID: 1, Tag: 5},
+			{ID: 9, Tag: 1 << 40},
+		},
+		Mistake: []tagset.Entry{{ID: 2, Tag: 0}},
+	}
+	got := roundTrip(t, q)
+	if !reflect.DeepEqual(got, q) {
+		t.Errorf("round trip = %+v, want %+v", got, q)
+	}
+}
+
+func TestEmptyQueryRoundTrip(t *testing.T) {
+	q := core.Query{From: 0, Round: 0}
+	got := roundTrip(t, q).(core.Query)
+	if got.From != 0 || got.Round != 0 || len(got.Suspected) != 0 || len(got.Mistake) != 0 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := core.Response{From: 12, Round: 1 << 50}
+	if got := roundTrip(t, r); !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip = %+v, want %+v", got, r)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	m := heartbeat.Message{From: 7, Seq: 123456}
+	if got := roundTrip(t, m); !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	m := heartbeat.VectorMessage{From: 2, Vector: []uint64{0, 5, 1 << 33}}
+	if got := roundTrip(t, m); !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+	empty := heartbeat.VectorMessage{From: 1, Vector: []uint64{}}
+	got := roundTrip(t, empty).(heartbeat.VectorMessage)
+	if got.From != 1 || len(got.Vector) != 0 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestEncodeUnsupported(t *testing.T) {
+	if _, err := Encode("a string"); err == nil {
+		t.Error("Encode of unsupported type succeeded")
+	}
+	if Size("a string") != 0 {
+		t.Error("Size of unsupported type nonzero")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(nil) err = %v", err)
+	}
+	if _, err := Decode([]byte{0x7f}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("Decode(unknown kind) err = %v", err)
+	}
+	// Truncate a valid query at every byte boundary.
+	q := core.Query{From: 1, Round: 2, Suspected: []tagset.Entry{{ID: 3, Tag: 999}}}
+	full, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d-byte prefix succeeded", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeEntryCountLies(t *testing.T) {
+	// A message claiming a huge entry count must fail cleanly, not allocate.
+	buf := []byte{kindQuery}
+	buf = append(buf, 1, 1)          // from, round
+	buf = append(buf, 0xff, 0xff, 3) // suspected count = large varint
+	if _, err := Decode(buf); err == nil {
+		t.Error("Decode with lying count succeeded")
+	}
+}
+
+func TestSizeMatchesEncoding(t *testing.T) {
+	q := core.Query{From: 3, Round: 9, Suspected: []tagset.Entry{{ID: 1, Tag: 2}}}
+	b, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Size(q) != len(b) {
+		t.Errorf("Size = %d, want %d", Size(q), len(b))
+	}
+}
+
+func TestQuickQueryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := core.Query{
+			From:  ident.ID(r.Intn(1000)),
+			Round: uint64(r.Int63()),
+		}
+		for i := 0; i < r.Intn(20); i++ {
+			q.Suspected = append(q.Suspected, tagset.Entry{ID: ident.ID(r.Intn(1000)), Tag: tagset.Tag(r.Uint64())})
+		}
+		for i := 0; i < r.Intn(20); i++ {
+			q.Mistake = append(q.Mistake, tagset.Entry{ID: ident.ID(r.Intn(1000)), Tag: tagset.Tag(r.Uint64())})
+		}
+		b, err := Encode(q)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		dq := got.(core.Query)
+		if dq.From != q.From || dq.Round != q.Round ||
+			len(dq.Suspected) != len(q.Suspected) || len(dq.Mistake) != len(q.Mistake) {
+			return false
+		}
+		for i := range q.Suspected {
+			if dq.Suspected[i] != q.Suspected[i] {
+				return false
+			}
+		}
+		for i := range q.Mistake {
+			if dq.Mistake[i] != q.Mistake[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic on arbitrary input
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeQuery(b *testing.B) {
+	q := core.Query{From: 3, Round: 9}
+	for i := 0; i < 16; i++ {
+		q.Suspected = append(q.Suspected, tagset.Entry{ID: ident.ID(i), Tag: tagset.Tag(i * 7)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeQuery(b *testing.B) {
+	q := core.Query{From: 3, Round: 9}
+	for i := 0; i < 16; i++ {
+		q.Suspected = append(q.Suspected, tagset.Entry{ID: ident.ID(i), Tag: tagset.Tag(i * 7)})
+	}
+	buf, err := Encode(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,39 @@ func benchExperiment(b *testing.B, fn func(exp.Options) (*exp.Table, error)) {
 	}
 }
 
+// benchAll sweeps every table through the sharded engine at the given pool
+// size and reports kernel throughput, so serial and parallel engine runs can
+// be compared directly (`-bench 'AllTables'`).
+func benchAll(b *testing.B, parallel int) {
+	b.Helper()
+	b.ReportAllocs()
+	var events, runs int64
+	for i := 0; i < b.N; i++ {
+		stats := &exp.EngineStats{}
+		tables, err := exp.All(exp.Options{Quick: true, Seed: int64(i + 1), Parallel: parallel, Stats: stats})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+		events += stats.Events.Load()
+		runs += stats.Runs.Load()
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+		b.ReportMetric(float64(runs)/secs, "runs/sec")
+	}
+}
+
+// BenchmarkAllTablesSerial — the full quick-mode sweep on one worker.
+func BenchmarkAllTablesSerial(b *testing.B) { benchAll(b, 1) }
+
+// BenchmarkAllTablesParallel — the same sweep on a worker per CPU; output is
+// byte-identical, only wall-clock and throughput change.
+func BenchmarkAllTablesParallel(b *testing.B) { benchAll(b, -1) }
+
 // BenchmarkE1DetectionVsN — Table 1: detection time vs n, all detectors.
 func BenchmarkE1DetectionVsN(b *testing.B) { benchExperiment(b, exp.E1DetectionVsN) }
 

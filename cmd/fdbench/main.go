@@ -1,19 +1,78 @@
 // Command fdbench regenerates every table and figure of the reconstructed
-// evaluation (see DESIGN.md and EXPERIMENTS.md).
+// evaluation (see DESIGN.md and EXPERIMENTS.md) on the sharded experiment
+// engine, optionally in parallel and with machine-readable benchmark output.
 //
 // Usage:
 //
 //	fdbench [-exp all|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|X1|X2] [-quick] [-seed N]
+//	        [-parallel N] [-json FILE]
+//
+// -parallel sizes the worker pool experiment cells run on: 1 = serial
+// (default), N > 1 = that many workers, 0 or negative = one worker per CPU.
+// Tables are byte-identical whatever the pool size; only wall-clock time
+// changes.
+//
+// -json writes a benchmark report to FILE ("-" = stdout, suppressing the
+// tables). Schema "asyncfd-bench/v1":
+//
+//	{
+//	  "schema": "asyncfd-bench/v1",   // schema identifier, bumped on change
+//	  "go_max_procs": 8,              // runtime.GOMAXPROCS at run time
+//	  "workers": 8,                   // resolved worker-pool size
+//	  "quick": true,                  // quick-mode sweep?
+//	  "seed": 1,                      // base random seed
+//	  "wall_ns": 123456789,           // sweep wall-clock time, ns; rendering
+//	                                  // and IO are excluded so numbers are
+//	                                  // comparable across output modes
+//	  "events": 4210033,              // DES kernel events executed
+//	  "runs": 64,                     // independent simulations completed
+//	  "events_per_sec": 3.4e7,        // events / wall seconds
+//	  "runs_per_sec": 520.1,          // runs / wall seconds
+//	  "ns_per_run": 1922733.5,        // wall_ns / runs
+//	  "experiments": [                // per-experiment breakdown, in order;
+//	    {"id": "E1", "wall_ns": 1,    // under -parallel experiments overlap,
+//	     "events": 2, "runs": 3},     // so their wall_ns need not sum to the
+//	    ...                           // sweep total
+//	  ]
+//	}
+//
+// Committed BENCH_*.json files at the repo root use this schema to track the
+// engine's throughput trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"asyncfd/internal/exp"
 )
+
+type experimentBench struct {
+	ID     string `json:"id"`
+	WallNS int64  `json:"wall_ns"`
+	Events int64  `json:"events"`
+	Runs   int64  `json:"runs"`
+}
+
+type benchReport struct {
+	Schema       string            `json:"schema"`
+	GoMaxProcs   int               `json:"go_max_procs"`
+	Workers      int               `json:"workers"`
+	Quick        bool              `json:"quick"`
+	Seed         int64             `json:"seed"`
+	WallNS       int64             `json:"wall_ns"`
+	Events       int64             `json:"events"`
+	Runs         int64             `json:"runs"`
+	EventsPerSec float64           `json:"events_per_sec"`
+	RunsPerSec   float64           `json:"runs_per_sec"`
+	NSPerRun     float64           `json:"ns_per_run"`
+	Experiments  []experimentBench `json:"experiments"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -27,45 +86,102 @@ func run(args []string) error {
 	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, X1, X2) or 'all'")
 	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
 	seed := fs.Int64("seed", 1, "base random seed")
+	parallel := fs.Int("parallel", 1, "worker pool size; 0 or negative = one worker per CPU")
+	jsonPath := fs.String("json", "", "write a bench report (schema asyncfd-bench/v1) to this file; '-' = stdout, tables suppressed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := exp.Options{Seed: *seed, Quick: *quickFlag}
+	if *parallel == 0 {
+		*parallel = -1 // 0 and negative both mean GOMAXPROCS
+	}
+	opts := exp.Options{Seed: *seed, Quick: *quickFlag, Parallel: *parallel}
 
-	experiments := map[string]func(exp.Options) (*exp.Table, error){
-		"E1": exp.E1DetectionVsN,
-		"E2": exp.E2DetectionVsF,
-		"E3": exp.E3Disturbance,
-		"E4": exp.E4QoS,
-		"E5": exp.E5MessageCost,
-		"E6": exp.E6MPSensitivity,
-		"E7": exp.E7Consensus,
-		"E8": exp.E8Propagation,
-		"A1": exp.A1TagsAblation,
-		"A2": exp.A2WindowAblation,
-		"X1": exp.X1DensityExt,
-		"X2": exp.X2MobilityExt,
+	jsonOnly := *jsonPath == "-"
+	report := benchReport{
+		Schema:     "asyncfd-bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    opts.Workers(),
+		Quick:      *quickFlag,
+		Seed:       *seed,
 	}
 
+	// Everything below is timed before rendering, so wall_ns measures
+	// simulation work only and is identical whether tables are printed.
+	var results []exp.Result
 	if strings.EqualFold(*expID, "all") {
-		tables, err := exp.All(opts)
+		// The pooled sweep: experiment- and cell-level fan-out share one
+		// Workers()-sized gate, so small experiments overlap the big ones.
+		t0 := time.Now()
+		all, err := exp.AllResults(opts)
 		if err != nil {
 			return err
 		}
-		for _, t := range tables {
-			if err := t.Render(os.Stdout); err != nil {
+		report.WallNS = time.Since(t0).Nanoseconds()
+		results = all
+	} else {
+		found := false
+		for _, e := range exp.Experiments() {
+			if !strings.EqualFold(e.ID, *expID) {
+				continue
+			}
+			found = true
+			stats := &exp.EngineStats{}
+			eOpts := opts
+			eOpts.Stats = stats
+			t0 := time.Now()
+			tbl, err := e.Fn(eOpts)
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+			wall := time.Since(t0)
+			report.WallNS = wall.Nanoseconds()
+			results = []exp.Result{{
+				ID: e.ID, Table: tbl, Wall: wall,
+				Events: stats.Events.Load(), Runs: stats.Runs.Load(),
+			}}
+			break
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q", *expID)
+		}
+	}
+
+	for _, r := range results {
+		report.Experiments = append(report.Experiments, experimentBench{
+			ID:     r.ID,
+			WallNS: r.Wall.Nanoseconds(),
+			Events: r.Events,
+			Runs:   r.Runs,
+		})
+		if !jsonOnly {
+			if err := r.Table.Render(os.Stdout); err != nil {
 				return err
 			}
 		}
+	}
+
+	if *jsonPath == "" {
 		return nil
 	}
-	fn, ok := experiments[strings.ToUpper(*expID)]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", *expID)
+	for _, e := range report.Experiments {
+		report.Events += e.Events
+		report.Runs += e.Runs
 	}
-	t, err := fn(opts)
+	if secs := float64(report.WallNS) / 1e9; secs > 0 {
+		report.EventsPerSec = float64(report.Events) / secs
+		report.RunsPerSec = float64(report.Runs) / secs
+	}
+	if report.Runs > 0 {
+		report.NSPerRun = float64(report.WallNS) / float64(report.Runs)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
-	return t.Render(os.Stdout)
+	out = append(out, '\n')
+	if jsonOnly {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(*jsonPath, out, 0o644)
 }

@@ -1,0 +1,3 @@
+module asyncfd
+
+go 1.22

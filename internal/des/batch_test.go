@@ -1,0 +1,194 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestBatchMatchesAfter checks that a Batch fires its items exactly as the
+// same closures scheduled with individual After calls, including FIFO ties
+// and interleaving with independently scheduled events.
+func TestBatchMatchesAfter(t *testing.T) {
+	runTrace := func(seed int64, batched bool) []int {
+		r := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		var tr []int
+		n := 2 + r.Intn(8)
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(r.Intn(4)) * time.Millisecond
+		}
+		// Competing plain events around the batch's time range.
+		for i := 0; i < 5; i++ {
+			i := i
+			s.After(time.Duration(r.Intn(5))*time.Millisecond, func() { tr = append(tr, 100+i) })
+		}
+		if batched {
+			items := make([]BatchItem, n)
+			for i := range items {
+				i := i
+				items[i] = BatchItem{D: delays[i], Fn: func() { tr = append(tr, i) }}
+			}
+			s.Batch(items)
+		} else {
+			for i := range delays {
+				i := i
+				s.After(delays[i], func() { tr = append(tr, i) })
+			}
+		}
+		// More events scheduled after, including same instants.
+		for i := 0; i < 5; i++ {
+			i := i
+			s.After(time.Duration(r.Intn(5))*time.Millisecond, func() { tr = append(tr, 200+i) })
+		}
+		s.Run()
+		return tr
+	}
+	f := func(seed int64) bool {
+		a, b := runTrace(seed, true), runTrace(seed, false)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchSameInstantBurst(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(time.Millisecond, func() {
+		items := make([]BatchItem, 10)
+		for i := range items {
+			i := i
+			items[i] = BatchItem{D: 0, Fn: func() { got = append(got, i) }}
+		}
+		s.Batch(items)
+		// Scheduled after the batch: must run after every batch item.
+		s.After(0, func() { got = append(got, 99) })
+	})
+	s.Run()
+	if len(got) != 11 || got[10] != 99 {
+		t.Fatalf("burst order = %v", got)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("burst order = %v, want FIFO then 99", got)
+		}
+	}
+	if s.Now() != time.Millisecond {
+		t.Errorf("Now = %v, want 1ms", s.Now())
+	}
+}
+
+func TestBatchNestedScheduling(t *testing.T) {
+	s := New(1)
+	var got []string
+	s.Batch([]BatchItem{
+		{D: time.Millisecond, Fn: func() {
+			got = append(got, "a")
+			s.After(0, func() { got = append(got, "b") })
+		}},
+		{D: time.Millisecond, Fn: func() { got = append(got, "a2") }},
+		{D: 2 * time.Millisecond, Fn: func() { got = append(got, "c") }},
+	})
+	s.Run()
+	want := []string{"a", "a2", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBatchEmptyAndSingle(t *testing.T) {
+	s := New(1)
+	s.Batch(nil)
+	ran := false
+	s.Batch([]BatchItem{{D: time.Millisecond, Fn: func() { ran = true }}})
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if !ran {
+		t.Error("single-item batch did not run")
+	}
+}
+
+func TestBatchRunUntilBoundary(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Batch([]BatchItem{
+		{D: time.Millisecond, Fn: func() { got = append(got, 1) }},
+		{D: 3 * time.Millisecond, Fn: func() { got = append(got, 3) }},
+	})
+	s.RunUntil(2 * time.Millisecond)
+	if len(got) != 1 || s.Pending() != 1 {
+		t.Fatalf("got %v pending %d, want only the 1ms item", got, s.Pending())
+	}
+	s.Run()
+	if len(got) != 2 {
+		t.Error("remaining batch item lost after RunUntil")
+	}
+}
+
+// TestSlabRecycled checks that steady-state scheduling reuses slab slots
+// instead of growing storage without bound.
+func TestSlabRecycled(t *testing.T) {
+	s := New(1)
+	for cycle := 0; cycle < 100; cycle++ {
+		for i := 0; i < 10; i++ {
+			s.After(time.Duration(i)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+	if len(s.events) > 64 {
+		t.Errorf("slab grew to %d slots for a working set of 10", len(s.events))
+	}
+}
+
+// TestStaleTimerAfterReuse checks that a Timer for a consumed event stays
+// inert even after its slab slot has been recycled for a new event.
+func TestStaleTimerAfterReuse(t *testing.T) {
+	s := New(1)
+	tm := s.After(0, func() {})
+	s.Run()
+	ran := false
+	s.After(0, func() { ran = true }) // reuses the freed slot
+	if tm.Stop() {
+		t.Error("stale Timer.Stop = true")
+	}
+	s.Run()
+	if !ran {
+		t.Error("stale Stop cancelled an unrelated event in the reused slot")
+	}
+}
+
+func BenchmarkBroadcastFanout(b *testing.B) {
+	b.ReportAllocs()
+	items := make([]BatchItem, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		fn := func() {}
+		for round := 0; round < 20; round++ {
+			for j := range items {
+				items[j] = BatchItem{D: time.Duration(j%7) * time.Microsecond, Fn: fn}
+			}
+			s.Batch(items)
+			s.Run()
+		}
+	}
+}

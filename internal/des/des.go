@@ -6,69 +6,68 @@
 // simulated components (network links, protocol timers, fault injectors)
 // schedule closures on the kernel; the kernel executes them in (time, FIFO)
 // order.
+//
+// The kernel is built for throughput: events live in a slab recycled through
+// a free list (no per-event heap allocation in steady state), same-instant
+// bursts drain through a FIFO ready bucket instead of churning the timing
+// heap, and message fan-outs can be scheduled as a single Batch node that
+// occupies one heap slot however many deliveries it carries.
 package des
 
 import (
-	"container/heap"
 	"math/rand"
+	"sort"
 	"time"
 )
 
-// event is a scheduled closure. seq breaks ties so that events scheduled for
-// the same instant run in scheduling order (deterministic FIFO).
+// event is one kernel node: either a single closure or a whole batch
+// fan-out. Events live in the simulator's slab, addressed by index and
+// recycled through a free list; gen invalidates stale Timer handles when a
+// slot is reused. For batch nodes, (at, seq) always hold the key of the
+// earliest unfired item.
 type event struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
+	gen     uint32
 	stopped bool
-	index   int // heap bookkeeping
+	items   []batchItem // non-nil for batch fan-out nodes
+	head    int         // next unfired batch item
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+type batchItem struct {
+	at time.Duration
+	fn func()
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// BatchItem is one callback of a batch fan-out (see Simulator.Batch).
+type BatchItem struct {
+	D  time.Duration // delay from now; negative delays clamp to zero
+	Fn func()
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// noEvent marks an empty slab reference.
+const noEvent = int32(-1)
 
 // Timer is a handle to a scheduled event.
 type Timer struct {
-	ev *event
+	s   *Simulator
+	idx int32
+	gen uint32
 }
 
 // Stop cancels the event if it has not run yet, reporting whether it was
 // still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped {
+	if t == nil || t.s == nil {
 		return false
 	}
-	t.ev.stopped = true
-	t.ev.fn = nil // release captured state promptly
+	e := &t.s.events[t.idx]
+	if e.gen != t.gen || e.stopped {
+		return false
+	}
+	e.stopped = true
+	e.fn = nil // release captured state promptly
 	return true
 }
 
@@ -77,16 +76,31 @@ func (t *Timer) Stop() bool {
 // components need no locking.
 type Simulator struct {
 	now     time.Duration
-	queue   eventHeap
 	seq     uint64
 	rng     *rand.Rand
 	halted  bool
 	stepped uint64
+	pending int // scheduled callbacks not yet run or reclaimed
+
+	events []event // slab; all event storage, recycled via free
+	free   []int32 // recycled slab slots
+	heap   []int32 // binary heap of slab indices keyed by (at, seq)
+
+	// fifo is the ready bucket: events scheduled for the current instant,
+	// drained in seq (FIFO) order without touching the heap. Entries are
+	// sorted by seq by construction.
+	fifo     []int32
+	fifoHead int
+
+	// front holds at most one batch continuation whose key is the global
+	// minimum (the currently draining same-instant fan-out), letting a
+	// k-message burst run with zero heap operations after the first pop.
+	front int32
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), front: noEvent}
 }
 
 // Now returns the current virtual time.
@@ -99,9 +113,31 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // Steps returns the number of events executed so far.
 func (s *Simulator) Steps() uint64 { return s.stepped }
 
-// Pending returns the number of events currently scheduled (including
-// stopped-but-unpopped ones).
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending returns the number of callbacks currently scheduled (including
+// stopped-but-unreclaimed ones).
+func (s *Simulator) Pending() int { return s.pending }
+
+// alloc takes a slab slot from the free list, growing the slab when empty.
+func (s *Simulator) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		i := s.free[n-1]
+		s.free = s.free[:n-1]
+		return i
+	}
+	s.events = append(s.events, event{})
+	return int32(len(s.events) - 1)
+}
+
+// release recycles a slab slot; the gen bump invalidates outstanding Timers.
+func (s *Simulator) release(i int32) {
+	e := &s.events[i]
+	e.fn = nil
+	e.items = nil
+	e.head = 0
+	e.stopped = false
+	e.gen++
+	s.free = append(s.free, i)
+}
 
 // After schedules fn to run d from now. Negative delays are clamped to zero:
 // the event runs at the current instant, after already-queued events for
@@ -118,29 +154,226 @@ func (s *Simulator) At(t time.Duration, fn func()) *Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	i := s.alloc()
+	e := &s.events[i]
+	e.at, e.seq, e.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	s.pending++
+	if t == s.now {
+		s.fifo = append(s.fifo, i) // seq is monotonic, so fifo stays sorted
+	} else {
+		s.heapPush(i)
+	}
+	return &Timer{s: s, idx: i, gen: e.gen}
+}
+
+// Batch schedules a group of callbacks — typically one message fan-out — as
+// a single kernel node. The node is kept sorted by fire time and always
+// carries the key of its earliest unfired item, so a k-message broadcast
+// costs one slab slot and at most one heap insertion per distinct fire time
+// instead of k, and same-instant bursts drain through the ready bucket with
+// no heap traffic at all. Execution order is exactly that of k individual
+// After calls issued in slice order. The kernel takes ownership of nothing:
+// items is read synchronously and may be reused by the caller.
+func (s *Simulator) Batch(items []BatchItem) {
+	switch len(items) {
+	case 0:
+		return
+	case 1:
+		s.After(items[0].D, items[0].Fn)
+		return
+	}
+	bs := make([]batchItem, len(items))
+	for k, it := range items {
+		at := s.now + it.D
+		if it.D < 0 || at < s.now { // negative or overflowing delays clamp to now, as in After
+			at = s.now
+		}
+		bs[k] = batchItem{at: at, fn: it.Fn}
+	}
+	// Stable sort keeps slice order for equal fire times; combined with the
+	// block of consecutive seqs this preserves After-by-After FIFO semantics.
+	sort.SliceStable(bs, func(a, b int) bool { return bs[a].at < bs[b].at })
+	i := s.alloc()
+	e := &s.events[i]
+	e.at, e.seq = bs[0].at, s.seq
+	e.items, e.head = bs, 0
+	s.seq += uint64(len(bs))
+	s.pending += len(bs)
+	if e.at == s.now {
+		s.fifo = append(s.fifo, i)
+	} else {
+		s.heapPush(i)
+	}
+}
+
+// less orders slab indices by (at, seq); seqs are unique so there are no ties.
+func (s *Simulator) less(i, j int32) bool {
+	a, b := &s.events[i], &s.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) heapPush(i int32) {
+	s.heap = append(s.heap, i)
+	h := s.heap
+	k := len(h) - 1
+	for k > 0 {
+		p := (k - 1) / 2
+		if !s.less(h[k], h[p]) {
+			break
+		}
+		h[k], h[p] = h[p], h[k]
+		k = p
+	}
+}
+
+func (s *Simulator) heapPop() int32 {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	h = s.heap
+	k := 0
+	for {
+		l := 2*k + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(h[r], h[l]) {
+			m = r
+		}
+		if !s.less(h[m], h[k]) {
+			break
+		}
+		h[k], h[m] = h[m], h[k]
+		k = m
+	}
+	return top
+}
+
+func (s *Simulator) fifoPeek() int32 {
+	if s.fifoHead >= len(s.fifo) {
+		return noEvent
+	}
+	return s.fifo[s.fifoHead]
+}
+
+func (s *Simulator) fifoPop() int32 {
+	i := s.fifo[s.fifoHead]
+	s.fifoHead++
+	if s.fifoHead == len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.fifoHead = 0
+	}
+	return i
+}
+
+// reapStoppedHeads reclaims stopped events sitting at the head of the fifo
+// bucket or the heap, so pop and peek always see a live minimum.
+func (s *Simulator) reapStoppedHeads() {
+	for {
+		if f := s.fifoPeek(); f != noEvent && s.events[f].stopped {
+			s.fifoPop()
+			s.pending--
+			s.release(f)
+			continue
+		}
+		if len(s.heap) > 0 {
+			if h := s.heap[0]; s.events[h].stopped {
+				s.heapPop()
+				s.pending--
+				s.release(h)
+				continue
+			}
+		}
+		return
+	}
+}
+
+// popMin removes and returns the live event with the smallest (at, seq) key,
+// or noEvent. The front slot, when occupied, is always the global minimum.
+func (s *Simulator) popMin() int32 {
+	if s.front != noEvent {
+		i := s.front
+		s.front = noEvent
+		return i
+	}
+	s.reapStoppedHeads()
+	f := s.fifoPeek()
+	if len(s.heap) == 0 {
+		if f == noEvent {
+			return noEvent
+		}
+		return s.fifoPop()
+	}
+	if f != noEvent && s.less(f, s.heap[0]) {
+		return s.fifoPop()
+	}
+	return s.heapPop()
+}
+
+// peekAt reports the fire time of the earliest live event.
+func (s *Simulator) peekAt() (time.Duration, bool) {
+	if s.front != noEvent {
+		return s.events[s.front].at, true
+	}
+	s.reapStoppedHeads()
+	best := s.fifoPeek()
+	if len(s.heap) > 0 && (best == noEvent || s.less(s.heap[0], best)) {
+		best = s.heap[0]
+	}
+	if best == noEvent {
+		return 0, false
+	}
+	return s.events[best].at, true
 }
 
 // Step executes the next pending event, advancing virtual time. It returns
 // false when no events remain or the simulator has been halted.
 func (s *Simulator) Step() bool {
-	for {
-		if s.halted || s.queue.Len() == 0 {
-			return false
-		}
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.stopped {
-			continue
-		}
-		ev.stopped = true // consume: a later Timer.Stop reports false
-		s.now = ev.at
+	if s.halted {
+		return false
+	}
+	i := s.popMin()
+	if i == noEvent {
+		return false
+	}
+	e := &s.events[i]
+	if e.items != nil {
+		// Batch node: fire the current item, then re-key the node at its
+		// next item. A same-instant successor parks in the front slot (it
+		// remains the global minimum), skipping the heap entirely.
+		it := e.items[e.head]
+		e.head++
+		s.now = it.at
 		s.stepped++
-		ev.fn()
+		s.pending--
+		if e.head < len(e.items) {
+			e.at = e.items[e.head].at
+			e.seq++
+			if e.at == s.now && s.front == noEvent {
+				s.front = i
+			} else {
+				s.heapPush(i)
+			}
+		} else {
+			s.release(i)
+		}
+		it.fn()
 		return true
 	}
+	at, fn := e.at, e.fn
+	s.release(i) // consume first: a later Timer.Stop reports false
+	s.now = at
+	s.stepped++
+	s.pending--
+	fn()
+	return true
 }
 
 // Run executes events until none remain or Halt is called.
@@ -152,12 +385,9 @@ func (s *Simulator) Run() {
 // RunUntil executes events with timestamps ≤ t, then advances the clock to
 // t. Events scheduled exactly at t do run.
 func (s *Simulator) RunUntil(t time.Duration) {
-	for !s.halted && s.queue.Len() > 0 {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
+	for !s.halted {
+		at, ok := s.peekAt()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -165,16 +395,6 @@ func (s *Simulator) RunUntil(t time.Duration) {
 	if !s.halted && s.now < t {
 		s.now = t
 	}
-}
-
-func (s *Simulator) peek() *event {
-	for s.queue.Len() > 0 {
-		if !s.queue[0].stopped {
-			return s.queue[0]
-		}
-		heap.Pop(&s.queue)
-	}
-	return nil
 }
 
 // Halt stops the event loop; Step/Run/RunUntil return immediately afterward.

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"asyncfd/internal/consensus"
@@ -36,7 +37,7 @@ func (d *fdConsensusDemux) Deliver(from ident.ID, payload any) {
 // and returns the worst decision latency among survivors. The crash forces
 // the consensus to lean on the failure detector, so decision latency tracks
 // detection latency.
-func consensusLatency(kind Kind, n, f int, seed int64, delay netsim.DelayModel) (time.Duration, error) {
+func consensusLatency(opts Options, kind Kind, n, f int, seed int64, delay netsim.DelayModel) (time.Duration, error) {
 	const (
 		warmup  = 3 * time.Second
 		propose = 5 * time.Second
@@ -86,6 +87,7 @@ func consensusLatency(kind Kind, n, f int, seed int64, delay netsim.DelayModel) 
 	}
 	_ = warmup // detectors start within the first second and are warm by propose time
 	sim.RunUntil(horizon)
+	opts.record(sim)
 
 	var worst time.Duration
 	for i := 1; i < n; i++ {
@@ -115,27 +117,41 @@ func E7Consensus(opts Options) (*Table, error) {
 		Note:    fmt.Sprintf("n=%d, f=%d; round-1 coordinator crashes right after proposals; latency = worst survivor decision time", n, f),
 		Columns: []string{"detector", "decision latency (worst survivor, avg of runs)"},
 	}
-	for _, kind := range []Kind{KindAsync, KindHeartbeat, KindPhi, KindChen} {
+	kinds := []Kind{KindAsync, KindHeartbeat, KindPhi, KindChen}
+	var jobs []func() (time.Duration, error)
+	for _, kind := range kinds {
+		kind := kind
+		for r := 0; r < opts.runs(); r++ {
+			seed := opts.seed() + int64(r)*101
+			jobs = append(jobs, func() (time.Duration, error) {
+				lat, err := consensusLatency(opts, kind, n, f, seed, defaultDelay())
+				if err != nil {
+					return 0, fmt.Errorf("E7: %w", err)
+				}
+				return lat, nil
+			})
+		}
+	}
+	lats, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, kind := range kinds {
 		var sum time.Duration
 		for r := 0; r < opts.runs(); r++ {
-			lat, err := consensusLatency(kind, n, f, opts.seed()+int64(r)*101, defaultDelay())
-			if err != nil {
-				return nil, fmt.Errorf("E7: %w", err)
-			}
-			sum += lat
+			sum += lats[k]
+			k++
 		}
 		t.AddRow(kind.String(), ms(sum/time.Duration(opts.runs())))
 	}
 	return t, nil
 }
 
-// All runs every experiment in the reconstructed evaluation, in order.
-func All(opts Options) ([]*Table, error) {
-	type entry struct {
-		name string
-		fn   func(Options) (*Table, error)
-	}
-	entries := []entry{
+// Experiments lists every experiment of the reconstructed evaluation in
+// presentation order.
+func Experiments() []NamedExperiment {
+	return []NamedExperiment{
 		{"E1", E1DetectionVsN},
 		{"E2", E2DetectionVsF},
 		{"E3", E3Disturbance},
@@ -149,13 +165,100 @@ func All(opts Options) ([]*Table, error) {
 		{"X1", X1DensityExt},
 		{"X2", X2MobilityExt},
 	}
-	out := make([]*Table, 0, len(entries))
-	for _, e := range entries {
-		tbl, err := e.fn(opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiment %s: %w", e.name, err)
-		}
-		out = append(out, tbl)
+}
+
+// NamedExperiment pairs an experiment id with its generator.
+type NamedExperiment struct {
+	ID string
+	Fn func(Options) (*Table, error)
+}
+
+// Result is one experiment's outcome in a full sweep, with its share of the
+// engine throughput counters.
+type Result struct {
+	ID    string
+	Table *Table
+	// Wall is the experiment's elapsed time. Under a parallel Options,
+	// experiments overlap, so Wall times need not sum to the sweep's total.
+	Wall   time.Duration
+	Events int64 // DES events this experiment executed
+	Runs   int64 // simulation kernels this experiment completed
+}
+
+// All runs every experiment in the reconstructed evaluation, in order. With
+// a parallel Options the experiments fan out concurrently while all their
+// cell jobs share one run-wide Workers()-sized gate, so the number of live
+// simulations never exceeds the pool size. The returned slice is always in
+// presentation order, so output is identical to a serial run.
+func All(opts Options) ([]*Table, error) {
+	results, err := AllResults(opts)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	tables := make([]*Table, len(results))
+	for i, r := range results {
+		tables[i] = r.Table
+	}
+	return tables, nil
+}
+
+// AllResults is All with a per-experiment breakdown: each entry carries its
+// own wall time and throughput counters (also folded into opts.Stats when
+// set). cmd/fdbench builds its bench JSON from this.
+func AllResults(opts Options) ([]Result, error) {
+	entries := Experiments()
+	results := make([]Result, len(entries))
+	runOne := func(i int, e NamedExperiment) error {
+		stats := &EngineStats{}
+		eOpts := opts
+		eOpts.Stats = stats
+		t0 := time.Now()
+		tbl, err := e.Fn(eOpts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		results[i] = Result{
+			ID:     e.ID,
+			Table:  tbl,
+			Wall:   time.Since(t0),
+			Events: stats.Events.Load(),
+			Runs:   stats.Runs.Load(),
+		}
+		if opts.Stats != nil {
+			opts.Stats.Events.Add(results[i].Events)
+			opts.Stats.Runs.Add(results[i].Runs)
+		}
+		return nil
+	}
+	if opts.Workers() <= 1 {
+		for i, e := range entries {
+			if err := runOne(i, e); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	if opts.gate == nil {
+		opts.gate = make(chan struct{}, opts.Workers())
+	}
+	// One goroutine per experiment; they hold no gate slots themselves, so
+	// the leaf jobs inside can always make progress (no nested-pool
+	// deadlock), yet everything funnels through the shared gate.
+	errs := make([]error, len(entries))
+	var wg sync.WaitGroup
+	wg.Add(len(entries))
+	for i, e := range entries {
+		i, e := i, e
+		go func() {
+			defer wg.Done()
+			errs[i] = runOne(i, e)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

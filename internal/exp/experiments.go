@@ -20,6 +20,18 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and horizons for tests and benches.
 	Quick bool
+	// Parallel sizes the worker pool experiment cells run on: 0 or 1 =
+	// serial, n > 1 = that many workers, negative = one worker per CPU
+	// (runtime.GOMAXPROCS). Tables are byte-identical whatever the value.
+	Parallel int
+	// Stats, when non-nil, accumulates kernel throughput counters across
+	// every simulation the run executes.
+	Stats *EngineStats
+
+	// gate, when non-nil, is the run-wide concurrency bound shared by every
+	// runJobs call (installed by All so experiment-level and cell-level
+	// fan-out together never exceed Workers() live simulations).
+	gate chan struct{}
 }
 
 func (o Options) seed() int64 {
@@ -43,13 +55,14 @@ func defaultDelay() netsim.DelayModel {
 }
 
 // detectionRun crashes one process and measures detection statistics.
-func detectionRun(cfg ClusterConfig, crash ident.ID, crashAt, horizon time.Duration) (qos.DetectionStats, *Cluster, error) {
+func detectionRun(opts Options, cfg ClusterConfig, crash ident.ID, crashAt, horizon time.Duration) (qos.DetectionStats, *Cluster, error) {
 	c, err := NewCluster(cfg)
 	if err != nil {
 		return qos.DetectionStats{}, nil, err
 	}
 	truth := c.Apply(faults.Plan{}.CrashAt(crash, crashAt))
 	c.RunUntil(horizon)
+	opts.record(c.Sim)
 	observers := c.Members.Clone()
 	observers.Remove(crash)
 	return qos.DetectionTimes(c.Log, truth, crash, observers), c, nil
@@ -100,27 +113,45 @@ func E1DetectionVsN(opts Options) (*Table, error) {
 	if opts.Quick {
 		ns = []int{4, 8}
 	}
+	var jobs []func() (qos.DetectionStats, error)
 	for _, n := range ns {
+		n := n
 		f := (n - 1) / 3
 		if f < 1 {
 			f = 1
 		}
-		row := []string{strconv.Itoa(n), strconv.Itoa(f)}
 		for _, kind := range AllKinds() {
-			var stats []qos.DetectionStats
+			kind := kind
 			for r := 0; r < opts.runs(); r++ {
 				cfg := ClusterConfig{
 					Kind: kind, N: n, F: f,
 					Seed:  opts.seed() + int64(r)*101,
 					Delay: defaultDelay(),
 				}
-				s, _, err := detectionRun(cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
-				if err != nil {
-					return nil, fmt.Errorf("E1 %v n=%d: %w", kind, n, err)
-				}
-				stats = append(stats, s)
+				jobs = append(jobs, func() (qos.DetectionStats, error) {
+					s, _, err := detectionRun(opts, cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
+					if err != nil {
+						return qos.DetectionStats{}, fmt.Errorf("E1 %v n=%d: %w", kind, n, err)
+					}
+					return s, nil
+				})
 			}
-			agg := aggregateDetection(stats)
+		}
+	}
+	stats, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, n := range ns {
+		f := (n - 1) / 3
+		if f < 1 {
+			f = 1
+		}
+		row := []string{strconv.Itoa(n), strconv.Itoa(f)}
+		for range AllKinds() {
+			agg := aggregateDetection(stats[k : k+opts.runs()])
+			k += opts.runs()
 			row = append(row, ms(agg.Avg), ms(agg.Max))
 		}
 		t.AddRow(row...)
@@ -147,9 +178,14 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 		fs = []int{1, 3}
 	}
 	const horizon = 30 * time.Second
+	type e2run struct {
+		stats qos.DetectionStats
+		rate  float64
+		pa    float64
+	}
+	var jobs []func() (e2run, error)
 	for _, f := range fs {
-		var stats []qos.DetectionStats
-		var rate, pa float64
+		f := f
 		for r := 0; r < opts.runs(); r++ {
 			cfg := ClusterConfig{
 				Kind: KindAsync, N: n, F: f,
@@ -158,18 +194,39 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 				Window:   time.Nanosecond, // effectively zero, explicit to skip default
 				Interval: time.Second,
 			}
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("E2 f=%d: %w", f, err)
-			}
-			truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 10*time.Second))
-			c.RunUntil(horizon)
-			observers := c.Members.Clone()
-			observers.Remove(ident.ID(n - 1))
-			stats = append(stats, qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers))
-			m := qos.Mistakes(c.Log, truth, c.Members, horizon)
-			rate += m.Rate
-			pa += qos.QueryAccuracy(c.Log, truth, c.Members, horizon)
+			jobs = append(jobs, func() (e2run, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return e2run{}, fmt.Errorf("E2 f=%d: %w", f, err)
+				}
+				truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 10*time.Second))
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				observers := c.Members.Clone()
+				observers.Remove(ident.ID(n - 1))
+				m := qos.Mistakes(c.Log, truth, c.Members, horizon)
+				return e2run{
+					stats: qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers),
+					rate:  m.Rate,
+					pa:    qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+				}, nil
+			})
+		}
+	}
+	results, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, f := range fs {
+		var stats []qos.DetectionStats
+		var rate, pa float64
+		for r := 0; r < opts.runs(); r++ {
+			res := results[k]
+			k++
+			stats = append(stats, res.stats)
+			rate += res.rate
+			pa += res.pa
 		}
 		agg := aggregateDetection(stats)
 		runs := float64(opts.runs())
@@ -205,8 +262,10 @@ func E3Disturbance(opts Options) (*Table, error) {
 	for s := 25; s <= 55; s++ {
 		times = append(times, time.Duration(s)*time.Second)
 	}
-	series := make(map[Kind][]int)
-	for _, kind := range []Kind{KindAsync, KindHeartbeat, KindPhi} {
+	kinds := []Kind{KindAsync, KindHeartbeat, KindPhi}
+	jobs := make([]func() ([]int, error), len(kinds))
+	for i, kind := range kinds {
+		kind := kind
 		cfg := ClusterConfig{
 			Kind: kind, N: n, F: f,
 			Seed: opts.seed(),
@@ -218,18 +277,25 @@ func E3Disturbance(opts Options) (*Table, error) {
 				Factor: 3000,
 			},
 		}
-		c, err := NewCluster(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("E3 %v: %w", kind, err)
+		jobs[i] = func() ([]int, error) {
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E3 %v: %w", kind, err)
+			}
+			c.RunUntil(horizon)
+			opts.record(c.Sim)
+			return qos.FalseSuspicionSeries(c.Log, &qos.GroundTruth{}, times), nil
 		}
-		c.RunUntil(horizon)
-		series[kind] = qos.FalseSuspicionSeries(c.Log, &qos.GroundTruth{}, times)
+	}
+	series, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
 	}
 	for i, at := range times {
 		t.AddRow(fmt.Sprintf("%ds", int(at/time.Second)),
-			strconv.Itoa(series[KindAsync][i]),
-			strconv.Itoa(series[KindHeartbeat][i]),
-			strconv.Itoa(series[KindPhi][i]))
+			strconv.Itoa(series[0][i]),
+			strconv.Itoa(series[1][i]),
+			strconv.Itoa(series[2][i]))
 	}
 	return t, nil
 }
@@ -258,26 +324,48 @@ func E4QoS(opts Options) (*Table, error) {
 		{"exp mean 2ms", netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 10 * time.Second}},
 		{"pareto α=1 2ms", netsim.Pareto{Scale: 2 * time.Millisecond, Alpha: 1.0, Cap: 30 * time.Second}},
 	}
+	type e4cell struct {
+		mist qos.MistakeStats
+		pa   float64
+	}
+	var jobs []func() (e4cell, error)
 	for _, m := range models {
 		for _, kind := range AllKinds() {
+			kind := kind
 			cfg := ClusterConfig{
 				Kind: kind, N: 10, F: 3,
 				Seed:  opts.seed(),
 				Delay: m.model,
 			}
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("E4 %v: %w", kind, err)
-			}
-			c.RunUntil(horizon)
-			truth := &qos.GroundTruth{}
-			mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
-			pa := qos.QueryAccuracy(c.Log, truth, c.Members, horizon)
+			jobs = append(jobs, func() (e4cell, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return e4cell{}, fmt.Errorf("E4 %v: %w", kind, err)
+				}
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				truth := &qos.GroundTruth{}
+				return e4cell{
+					mist: qos.Mistakes(c.Log, truth, c.Members, horizon),
+					pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+				}, nil
+			})
+		}
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, m := range models {
+		for _, kind := range AllKinds() {
+			cell := cells[k]
+			k++
 			t.AddRow(m.name, kind.String(),
-				strconv.Itoa(mist.Count),
-				fmt.Sprintf("%.5f", mist.Rate),
-				ms(mist.AvgDuration),
-				f3(pa))
+				strconv.Itoa(cell.mist.Count),
+				fmt.Sprintf("%.5f", cell.mist.Rate),
+				ms(cell.mist.AvgDuration),
+				f3(cell.pa))
 		}
 	}
 	return t, nil
@@ -302,8 +390,10 @@ func E5MessageCost(opts Options) (*Table, error) {
 	if opts.Quick {
 		ns = []int{4, 8}
 	}
+	var jobs []func() (netsim.Stats, error)
 	for _, n := range ns {
 		for _, kind := range AllKinds() {
+			kind := kind
 			cfg := ClusterConfig{
 				Kind: kind, N: n, F: (n - 1) / 3,
 				Seed:       opts.seed(),
@@ -313,13 +403,27 @@ func E5MessageCost(opts Options) (*Table, error) {
 			if cfg.F < 1 {
 				cfg.F = 1
 			}
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("E5 %v: %w", kind, err)
-			}
-			c.RunUntil(horizon)
-			st := c.Net.Stats()
-			secs := horizon.Seconds()
+			jobs = append(jobs, func() (netsim.Stats, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return netsim.Stats{}, fmt.Errorf("E5 %v: %w", kind, err)
+				}
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				return c.Net.Stats(), nil
+			})
+		}
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	secs := horizon.Seconds()
+	for _, n := range ns {
+		for _, kind := range AllKinds() {
+			st := cells[k]
+			k++
 			t.AddRow(strconv.Itoa(n), kind.String(),
 				fmt.Sprintf("%.1f", float64(st.Sent)/float64(n)/secs),
 				fmt.Sprintf("%.0f", float64(st.Bytes)/float64(n)/secs))
@@ -357,15 +461,17 @@ func E6MPSensitivity(opts Options) (*Table, error) {
 		{"2ms (marginal)", netsim.Constant{D: 2 * time.Millisecond}},
 		{"none (MP off)", nil},
 	}
+	type e6run struct {
+		never       int
+		favoredTail bool
+	}
+	var jobs []func() (e6run, error)
 	for _, b := range biases {
-		holds := 0
-		totalNever := 0
-		favoredTail := 0
+		var delay netsim.DelayModel = base
+		if b.fast != nil {
+			delay = netsim.Bias{Base: base, Fast: b.fast, Favored: ident.SetOf(0)}
+		}
 		for r := 0; r < opts.runs(); r++ {
-			var delay netsim.DelayModel = base
-			if b.fast != nil {
-				delay = netsim.Bias{Base: base, Fast: b.fast, Favored: ident.SetOf(0)}
-			}
 			cfg := ClusterConfig{
 				Kind: KindAsync, N: n, F: f,
 				Seed:     opts.seed() + int64(r)*101,
@@ -373,34 +479,54 @@ func E6MPSensitivity(opts Options) (*Table, error) {
 				Window:   time.Nanosecond,
 				Interval: 100 * time.Millisecond,
 			}
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("E6: %w", err)
-			}
-			c.RunUntil(horizon)
-
-			suspectedInTail := make(map[ident.ID]bool)
-			for _, e := range c.Log.Events() {
-				if e.Suspected && e.At >= cut {
-					suspectedInTail[e.Subject] = true
+			jobs = append(jobs, func() (e6run, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return e6run{}, fmt.Errorf("E6: %w", err)
 				}
-			}
-			// Also count pairs still suspected at the cut.
-			c.Members.ForEach(func(obs ident.ID) bool {
-				c.Members.ForEach(func(subj ident.ID) bool {
-					if obs != subj && c.Log.SuspectedAt(obs, subj, cut) {
-						suspectedInTail[subj] = true
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+
+				suspectedInTail := make(map[ident.ID]bool)
+				for _, e := range c.Log.Events() {
+					if e.Suspected && e.At >= cut {
+						suspectedInTail[e.Subject] = true
 					}
+				}
+				// Also count pairs still suspected at the cut.
+				c.Members.ForEach(func(obs ident.ID) bool {
+					c.Members.ForEach(func(subj ident.ID) bool {
+						if obs != subj && c.Log.SuspectedAt(obs, subj, cut) {
+							suspectedInTail[subj] = true
+						}
+						return true
+					})
 					return true
 				})
-				return true
+				return e6run{
+					never:       n - len(suspectedInTail),
+					favoredTail: suspectedInTail[0],
+				}, nil
 			})
-			never := n - len(suspectedInTail)
-			totalNever += never
-			if never > 0 {
+		}
+	}
+	results, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, b := range biases {
+		holds := 0
+		totalNever := 0
+		favoredTail := 0
+		for r := 0; r < opts.runs(); r++ {
+			res := results[k]
+			k++
+			totalNever += res.never
+			if res.never > 0 {
 				holds++
 			}
-			if suspectedInTail[0] {
+			if res.favoredTail {
 				favoredTail++
 			}
 		}
@@ -427,21 +553,40 @@ func E8Propagation(opts Options) (*Table, error) {
 	if opts.Quick {
 		ns = []int{8}
 	}
+	var jobs []func() (qos.DetectionStats, error)
 	for _, n := range ns {
+		n := n
 		f := (n - 1) / 3
-		row := []string{strconv.Itoa(n)}
 		for _, kind := range []Kind{KindAsync, KindHeartbeat} {
-			var spreadSum, maxSum time.Duration
+			kind := kind
 			for r := 0; r < opts.runs(); r++ {
 				cfg := ClusterConfig{
 					Kind: kind, N: n, F: f,
 					Seed:  opts.seed() + int64(r)*101,
 					Delay: defaultDelay(),
 				}
-				s, _, err := detectionRun(cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
-				if err != nil {
-					return nil, fmt.Errorf("E8 %v: %w", kind, err)
-				}
+				jobs = append(jobs, func() (qos.DetectionStats, error) {
+					s, _, err := detectionRun(opts, cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
+					if err != nil {
+						return qos.DetectionStats{}, fmt.Errorf("E8 %v: %w", kind, err)
+					}
+					return s, nil
+				})
+			}
+		}
+	}
+	stats, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, n := range ns {
+		row := []string{strconv.Itoa(n)}
+		for range []Kind{KindAsync, KindHeartbeat} {
+			var spreadSum, maxSum time.Duration
+			for r := 0; r < opts.runs(); r++ {
+				s := stats[k]
+				k++
 				spreadSum += s.Max - s.Min
 				maxSum += s.Max
 			}
@@ -471,7 +616,15 @@ func A1TagsAblation(opts Options) (*Table, error) {
 		Note:    "disturbance of p3 during [20s,25s); ten stale suspicion messages replayed during [60s,65s); tail = [55s,90s]",
 		Columns: []string{"variant", "tail transitions", "suspected pairs at end", "closed mistakes"},
 	}
-	for _, disable := range []bool{false, true} {
+	type a1cell struct {
+		tail  int
+		pairs int
+		mist  int
+	}
+	variants := []bool{false, true}
+	jobs := make([]func() (a1cell, error), len(variants))
+	for i, disable := range variants {
+		disable := disable
 		cfg := ClusterConfig{
 			Kind: KindAsync, N: n, F: f,
 			Seed: opts.seed(),
@@ -488,36 +641,46 @@ func A1TagsAblation(opts Options) (*Table, error) {
 			Interval:    200 * time.Millisecond,
 			DisableTags: disable,
 		}
-		c, err := NewCluster(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("A1: %w", err)
-		}
-		// Replay: an "old" query from p2 still carrying the long-refuted
-		// suspicion ⟨p3, 1⟩ arrives at p5, ten times. Tag 1 is far below
-		// the tags of p3's refutations from the disturbance.
-		stale := core.Query{From: 2, Round: 1, Suspected: []tagset.Entry{{ID: 3, Tag: 1}}}
-		for i := 0; i < 10; i++ {
-			at := 60*time.Second + time.Duration(i)*500*time.Millisecond
-			c.Sim.At(at, func() { c.Inject(5, 2, stale) })
-		}
-		c.RunUntil(horizon)
-		tail := 0
-		for _, e := range c.Log.Events() {
-			if e.At >= tailCut {
-				tail++
+		jobs[i] = func() (a1cell, error) {
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return a1cell{}, fmt.Errorf("A1: %w", err)
 			}
+			// Replay: an "old" query from p2 still carrying the long-refuted
+			// suspicion ⟨p3, 1⟩ arrives at p5, ten times. Tag 1 is far below
+			// the tags of p3's refutations from the disturbance.
+			stale := core.Query{From: 2, Round: 1, Suspected: []tagset.Entry{{ID: 3, Tag: 1}}}
+			for i := 0; i < 10; i++ {
+				at := 60*time.Second + time.Duration(i)*500*time.Millisecond
+				c.Sim.At(at, func() { c.Inject(5, 2, stale) })
+			}
+			c.RunUntil(horizon)
+			opts.record(c.Sim)
+			tail := 0
+			for _, e := range c.Log.Events() {
+				if e.At >= tailCut {
+					tail++
+				}
+			}
+			pairs := 0
+			c.Members.ForEach(func(id ident.ID) bool {
+				pairs += c.Detector(id).Suspects().Len()
+				return true
+			})
+			mist := qos.Mistakes(c.Log, &qos.GroundTruth{}, c.Members, horizon)
+			return a1cell{tail: tail, pairs: pairs, mist: mist.Count}, nil
 		}
-		pairs := 0
-		c.Members.ForEach(func(id ident.ID) bool {
-			pairs += c.Detector(id).Suspects().Len()
-			return true
-		})
-		mist := qos.Mistakes(c.Log, &qos.GroundTruth{}, c.Members, horizon)
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, disable := range variants {
 		name := "tags on (paper)"
 		if disable {
 			name = "tags off (ablated)"
 		}
-		t.AddRow(name, strconv.Itoa(tail), strconv.Itoa(pairs), strconv.Itoa(mist.Count))
+		t.AddRow(name, strconv.Itoa(cells[i].tail), strconv.Itoa(cells[i].pairs), strconv.Itoa(cells[i].mist))
 	}
 	return t, nil
 }
@@ -538,7 +701,13 @@ func A2WindowAblation(opts Options) (*Table, error) {
 	if opts.Quick {
 		windows = []time.Duration{time.Nanosecond, 10 * time.Millisecond}
 	}
-	for _, w := range windows {
+	type a2cell struct {
+		det  qos.DetectionStats
+		rate float64
+		pa   float64
+	}
+	jobs := make([]func() (a2cell, error), len(windows))
+	for i, w := range windows {
 		cfg := ClusterConfig{
 			Kind: KindAsync, N: n, F: f,
 			Seed:     opts.seed(),
@@ -546,22 +715,35 @@ func A2WindowAblation(opts Options) (*Table, error) {
 			Window:   w,
 			Interval: 200 * time.Millisecond,
 		}
-		c, err := NewCluster(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("A2: %w", err)
+		jobs[i] = func() (a2cell, error) {
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return a2cell{}, fmt.Errorf("A2: %w", err)
+			}
+			truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 20*time.Second))
+			c.RunUntil(horizon)
+			opts.record(c.Sim)
+			observers := c.Members.Clone()
+			observers.Remove(ident.ID(n - 1))
+			mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
+			return a2cell{
+				det:  qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers),
+				rate: mist.Rate,
+				pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+			}, nil
 		}
-		truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 20*time.Second))
-		c.RunUntil(horizon)
-		observers := c.Members.Clone()
-		observers.Remove(ident.ID(n - 1))
-		det := qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers)
-		mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
-		pa := qos.QueryAccuracy(c.Log, truth, c.Members, horizon)
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range windows {
 		label := "0"
 		if w > time.Nanosecond {
 			label = ms(w)
 		}
-		t.AddRow(label, ms(det.Avg), ms(det.Max), fmt.Sprintf("%.4f", mist.Rate), f3(pa))
+		cell := cells[i]
+		t.AddRow(label, ms(cell.det.Avg), ms(cell.det.Max), fmt.Sprintf("%.4f", cell.rate), f3(cell.pa))
 	}
 	return t, nil
 }

@@ -82,37 +82,52 @@ func X1DensityExt(opts Options) (*Table, error) {
 			"(multi-hop needs a larger Θ); shape of RR-6088 Fig. 2", n, f),
 		Columns: []string{"d", "async avg", "async max", "gossip-FT avg", "gossip-FT max"},
 	}
+	// Two jobs per density: the asynchronous detector on the unknown
+	// network, and the gossip heartbeat comparator on the same topology.
+	var jobs []func() (qos.DetectionStats, error)
 	for _, k := range ks {
-		g := topology.Circulant(n, k)
+		k := k
 		crash := ident.ID(0)
-		observers := ident.FullSet(n)
-		observers.Remove(crash)
-
-		// Asynchronous detector on the unknown network.
-		uc, err := unknown.NewCluster(unknown.ClusterConfig{
-			Graph: g, F: f, Seed: opts.seed(),
-			Delay:    defaultDelay(),
-			Window:   250 * time.Millisecond,
-			Interval: 250 * time.Millisecond,
+		jobs = append(jobs, func() (qos.DetectionStats, error) {
+			g := topology.Circulant(n, k)
+			observers := ident.FullSet(n)
+			observers.Remove(crash)
+			uc, err := unknown.NewCluster(unknown.ClusterConfig{
+				Graph: g, F: f, Seed: opts.seed(),
+				Delay:    defaultDelay(),
+				Window:   250 * time.Millisecond,
+				Interval: 250 * time.Millisecond,
+			})
+			if err != nil {
+				return qos.DetectionStats{}, fmt.Errorf("X1 async d=%d: %w", 2*k+1, err)
+			}
+			truth := &qos.GroundTruth{}
+			truth.Crash(crash, crashAt)
+			uc.CrashAt(crash, crashAt)
+			uc.RunUntil(horizon)
+			opts.record(uc.Sim)
+			return qos.DetectionTimes(uc.Log, truth, crash, observers), nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("X1 async d=%d: %w", 2*k+1, err)
-		}
-		truth := &qos.GroundTruth{}
-		truth.Crash(crash, crashAt)
-		uc.CrashAt(crash, crashAt)
-		uc.RunUntil(horizon)
-		async := qos.DetectionTimes(uc.Log, truth, crash, observers)
-
-		// Gossip heartbeat comparator on the same topology.
-		gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
-		if err != nil {
-			return nil, fmt.Errorf("X1 gossip d=%d: %w", 2*k+1, err)
-		}
-		gtruth := faults.Plan{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
-		gc.sim.RunUntil(horizon)
-		gossip := qos.DetectionTimes(gc.log, gtruth, crash, observers)
-
+		jobs = append(jobs, func() (qos.DetectionStats, error) {
+			g := topology.Circulant(n, k)
+			observers := ident.FullSet(n)
+			observers.Remove(crash)
+			gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
+			if err != nil {
+				return qos.DetectionStats{}, fmt.Errorf("X1 gossip d=%d: %w", 2*k+1, err)
+			}
+			gtruth := faults.Plan{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
+			gc.sim.RunUntil(horizon)
+			opts.record(gc.sim)
+			return qos.DetectionTimes(gc.log, gtruth, crash, observers), nil
+		})
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range ks {
+		async, gossip := cells[2*i], cells[2*i+1]
 		t.AddRow(strconv.Itoa(2*k+1), ms(async.Avg), ms(async.Max), ms(gossip.Avg), ms(gossip.Max))
 	}
 	return t, nil
@@ -136,68 +151,84 @@ func X2MobilityExt(opts Options) (*Table, error) {
 		back    = 60 * time.Second
 		horizon = 150 * time.Second
 	)
-	g := topology.Circulant(n, k)
-	// New range on the other side of the ring: d−1 consecutive nodes.
-	var newNeighbors ident.Set
-	for i := 0; i < 2*k; i++ {
-		newNeighbors.Add(ident.ID(n/2 - k + i))
-	}
-
-	uc, err := unknown.NewCluster(unknown.ClusterConfig{
-		Graph: g, F: f, Seed: opts.seed(),
-		Delay:       defaultDelay(),
-		Window:      250 * time.Millisecond,
-		Interval:    250 * time.Millisecond,
-		Rebroadcast: time.Second,
-		Mobility:    true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("X2 async: %w", err)
-	}
-	uc.RelocateAt(0, newNeighbors, away, back)
-	uc.RunUntil(horizon)
-
-	gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("X2 gossip: %w", err)
-	}
-	// Equivalent move for the gossip cluster via a link filter window.
-	moving := false
-	gc.net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
-		if moving && (from == 0 || to == 0) {
-			return false
-		}
-		return true
-	})
-	gc.sim.At(away, func() { moving = true })
-	gc.sim.At(back, func() {
-		moving = false
-		// Reattach at the new position.
-		newNeighbors.ForEach(func(o ident.ID) bool {
-			nb := gc.net.Neighbors(o)
-			nb.Add(0)
-			gc.net.SetNeighbors(o, nb)
-			return true
-		})
-		g.Neighbors(0).ForEach(func(o ident.ID) bool {
-			if !newNeighbors.Has(o) {
-				nb := gc.net.Neighbors(o)
-				nb.Remove(0)
-				gc.net.SetNeighbors(o, nb)
-			}
-			return true
-		})
-		gc.net.SetNeighbors(0, newNeighbors)
-	})
-	gc.sim.RunUntil(horizon)
-
 	var times []time.Duration
 	for s := 25; s <= 145; s += 2 {
 		times = append(times, time.Duration(s)*time.Second)
 	}
-	truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
-	asyncSeries := qos.FalseSuspicionSeries(uc.Log, truth, times)
-	gossipSeries := qos.FalseSuspicionSeries(gc.log, truth, times)
+	// New range on the other side of the ring: d−1 consecutive nodes.
+	newRange := func() ident.Set {
+		var s ident.Set
+		for i := 0; i < 2*k; i++ {
+			s.Add(ident.ID(n/2 - k + i))
+		}
+		return s
+	}
+	jobs := []func() ([]int, error){
+		func() ([]int, error) {
+			truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
+			g := topology.Circulant(n, k)
+			uc, err := unknown.NewCluster(unknown.ClusterConfig{
+				Graph: g, F: f, Seed: opts.seed(),
+				Delay:       defaultDelay(),
+				Window:      250 * time.Millisecond,
+				Interval:    250 * time.Millisecond,
+				Rebroadcast: time.Second,
+				Mobility:    true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("X2 async: %w", err)
+			}
+			uc.RelocateAt(0, newRange(), away, back)
+			uc.RunUntil(horizon)
+			opts.record(uc.Sim)
+			return qos.FalseSuspicionSeries(uc.Log, truth, times), nil
+		},
+		func() ([]int, error) {
+			truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
+			g := topology.Circulant(n, k)
+			newNeighbors := newRange()
+			gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
+			if err != nil {
+				return nil, fmt.Errorf("X2 gossip: %w", err)
+			}
+			// Equivalent move for the gossip cluster via a link filter window.
+			moving := false
+			gc.net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+				if moving && (from == 0 || to == 0) {
+					return false
+				}
+				return true
+			})
+			gc.sim.At(away, func() { moving = true })
+			gc.sim.At(back, func() {
+				moving = false
+				// Reattach at the new position.
+				newNeighbors.ForEach(func(o ident.ID) bool {
+					nb := gc.net.Neighbors(o)
+					nb.Add(0)
+					gc.net.SetNeighbors(o, nb)
+					return true
+				})
+				g.Neighbors(0).ForEach(func(o ident.ID) bool {
+					if !newNeighbors.Has(o) {
+						nb := gc.net.Neighbors(o)
+						nb.Remove(0)
+						gc.net.SetNeighbors(o, nb)
+					}
+					return true
+				})
+				gc.net.SetNeighbors(0, newNeighbors)
+			})
+			gc.sim.RunUntil(horizon)
+			opts.record(gc.sim)
+			return qos.FalseSuspicionSeries(gc.log, truth, times), nil
+		},
+	}
+	series, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	asyncSeries, gossipSeries := series[0], series[1]
 
 	t := &Table{
 		ID:    "X2",

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderLines renders tbl and returns its non-empty lines.
+func renderLines(t *testing.T, tbl *Table) []string {
+	t.Helper()
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimRight(b.String(), "\n")
+	return strings.Split(out, "\n")
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "alignment",
+		Columns: []string{"id", "wide-column", "z"},
+	}
+	tbl.AddRow("1", "x", "a")
+	tbl.AddRow("22222", "yy", "b")
+	lines := renderLines(t, tbl)
+	if len(lines) != 5 { // header line, columns, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	header, sep := lines[1], lines[2]
+	// Every column after the first starts at the same offset in each row.
+	wantCol2 := strings.Index(header, "wide-column")
+	wantCol3 := strings.Index(header, "z")
+	for _, l := range []string{sep, lines[3], lines[4]} {
+		if len(l) < wantCol2 {
+			t.Fatalf("row %q shorter than column offset", l)
+		}
+	}
+	if strings.Index(lines[3], "x") != wantCol2 || strings.Index(lines[4], "yy") != wantCol2 {
+		t.Errorf("column 2 misaligned:\n%s", strings.Join(lines, "\n"))
+	}
+	if strings.Index(lines[3], "a") != wantCol3 || strings.Index(lines[4], "b") != wantCol3 {
+		t.Errorf("column 3 misaligned:\n%s", strings.Join(lines, "\n"))
+	}
+	// The last cell is not padded: no trailing spaces on any line.
+	for _, l := range lines {
+		if strings.TrimRight(l, " ") != l {
+			t.Errorf("trailing padding on %q", l)
+		}
+	}
+}
+
+// TestTableRenderRuneWidths checks alignment for multi-byte cells: widths
+// must count runes, not bytes, or Greek/CJK cells shift every later column.
+func TestTableRenderRuneWidths(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "runes", Columns: []string{"name", "val"}}
+	tbl.AddRow("λM", "1")
+	tbl.AddRow("plain", "2")
+	lines := renderLines(t, tbl)
+	r1 := []rune(lines[2+1]) // first data row
+	r2 := []rune(lines[2+2])
+	v1 := -1
+	for i, r := range r1 {
+		if r == '1' {
+			v1 = i
+		}
+	}
+	v2 := -1
+	for i, r := range r2 {
+		if r == '2' {
+			v2 = i
+		}
+	}
+	if v1 != v2 {
+		t.Errorf("value column misaligned in rune offsets (%d vs %d):\n%s", v1, v2, strings.Join(lines, "\n"))
+	}
+}
+
+func TestTableRenderNoNote(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "no note", Columns: []string{"a"}}
+	tbl.AddRow("1")
+	lines := renderLines(t, tbl)
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+columns+separator+row: %q", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "== T: no note ==") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestTableRenderShortRow(t *testing.T) {
+	// Rows narrower than Columns must render without panicking.
+	tbl := &Table{ID: "T", Title: "short", Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("only")
+	lines := renderLines(t, tbl)
+	if !strings.Contains(lines[len(lines)-1], "only") {
+		t.Errorf("short row lost: %q", lines)
+	}
+}
+
+func TestSeparatorMatchesWidths(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "sep", Columns: []string{"ab", "c"}}
+	tbl.AddRow("x", "longest-cell")
+	lines := renderLines(t, tbl)
+	sep := lines[2]
+	want := "--  ------------"
+	if sep != want {
+		t.Errorf("separator = %q, want %q", sep, want)
+	}
+}
+
+func TestMsF3Formatting(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.5ms" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := ms(0); got != "0.0ms" {
+		t.Errorf("ms(0) = %q", got)
+	}
+	if got := f3(0.12345); got != "0.123" {
+		t.Errorf("f3 = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"asyncfd/internal/des"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+type recorder struct {
+	at   []time.Duration
+	from []ident.ID
+	sim  *des.Simulator
+}
+
+func (r *recorder) Deliver(from ident.ID, payload any) {
+	r.at = append(r.at, r.sim.Now())
+	r.from = append(r.from, from)
+}
+
+// TestBroadcastBatchMatchesUnicast checks the batched broadcast path against
+// per-neighbor unicast sends: same rng-driven delays, same delivery times,
+// same per-destination order, same stats.
+func TestBroadcastBatchMatchesUnicast(t *testing.T) {
+	build := func() (*des.Simulator, *Network, []*recorder) {
+		sim := des.New(42)
+		net := New(sim, Config{
+			Delay:    Exponential{Min: time.Millisecond, Mean: 5 * time.Millisecond, Cap: time.Second},
+			DropRate: 0.2,
+		})
+		recs := make([]*recorder, 6)
+		for i := range recs {
+			recs[i] = &recorder{sim: sim}
+			net.AddNode(ident.ID(i), recs[i])
+		}
+		return sim, net, recs
+	}
+
+	simA, netA, recsA := build()
+	envA := netA.Env(0)
+	for round := 0; round < 50; round++ {
+		simA.After(time.Duration(round)*10*time.Millisecond, func() { envA.Broadcast("q") })
+	}
+	simA.Run()
+
+	simB, netB, recsB := build()
+	envB := netB.Env(0)
+	for round := 0; round < 50; round++ {
+		simB.After(time.Duration(round)*10*time.Millisecond, func() {
+			// Manual fan-out over the same neighbor order Broadcast uses.
+			netB.Neighbors(0).ForEach(func(to ident.ID) bool {
+				envB.Send(to, "q")
+				return true
+			})
+		})
+	}
+	simB.Run()
+
+	if netA.Stats() != netB.Stats() {
+		t.Fatalf("stats diverged: batched %+v vs unicast %+v", netA.Stats(), netB.Stats())
+	}
+	for i := range recsA {
+		a, b := recsA[i], recsB[i]
+		if len(a.at) != len(b.at) {
+			t.Fatalf("node %d: %d vs %d deliveries", i, len(a.at), len(b.at))
+		}
+		for j := range a.at {
+			if a.at[j] != b.at[j] || a.from[j] != b.from[j] {
+				t.Fatalf("node %d delivery %d: (%v, %v) vs (%v, %v)",
+					i, j, a.at[j], a.from[j], b.at[j], b.from[j])
+			}
+		}
+	}
+}
+
+// TestBroadcastCrashedSenderSilent ensures the batched path still honors the
+// crash-stop model at send time.
+func TestBroadcastCrashedSenderSilent(t *testing.T) {
+	sim := des.New(1)
+	net := New(sim, Config{Delay: Constant{D: time.Millisecond}})
+	rec := &recorder{sim: sim}
+	env := net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	net.AddNode(1, rec)
+	net.Crash(0)
+	env.Broadcast("q")
+	sim.Run()
+	if len(rec.at) != 0 {
+		t.Errorf("crashed sender delivered %d messages", len(rec.at))
+	}
+	if net.Stats().Sent != 0 {
+		t.Errorf("crashed sender counted %d sends", net.Stats().Sent)
+	}
+}

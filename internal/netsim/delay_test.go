@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"asyncfd/internal/ident"
+)
+
+// delay_test.go exercises the distribution edges of every DelayModel: caps,
+// degenerate parameters and window boundaries. The broader statistical
+// checks live in netsim_test.go.
+
+func samples(m DelayModel, n int, now time.Duration) []time.Duration {
+	r := rand.New(rand.NewSource(1))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = m.Delay(r, 0, 1, now)
+	}
+	return out
+}
+
+func TestUniformDegenerateRange(t *testing.T) {
+	// Max <= Min collapses to Min instead of panicking in Int63n.
+	for _, m := range []Uniform{
+		{Min: 3 * time.Millisecond, Max: 3 * time.Millisecond},
+		{Min: 3 * time.Millisecond, Max: time.Millisecond},
+	} {
+		for _, d := range samples(m, 100, 0) {
+			if d != 3*time.Millisecond {
+				t.Fatalf("degenerate Uniform drew %v, want Min", d)
+			}
+		}
+	}
+}
+
+func TestUniformInclusiveBounds(t *testing.T) {
+	m := Uniform{Min: time.Millisecond, Max: 3 * time.Millisecond}
+	sawMin, sawMax := false, false
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		d := m.Delay(r, 0, 1, 0)
+		if d < m.Min || d > m.Max {
+			t.Fatalf("Uniform drew %v outside [%v, %v]", d, m.Min, m.Max)
+		}
+		// The bounds are reachable only at nanosecond granularity; just
+		// check the samples spread across the range.
+		if d < m.Min+500*time.Microsecond {
+			sawMin = true
+		}
+		if d > m.Max-500*time.Microsecond {
+			sawMax = true
+		}
+	}
+	if !sawMin || !sawMax {
+		t.Errorf("Uniform never approached its bounds (min %v max %v)", sawMin, sawMax)
+	}
+}
+
+func TestExponentialCapTruncates(t *testing.T) {
+	m := Exponential{Min: time.Millisecond, Mean: 10 * time.Millisecond, Cap: 12 * time.Millisecond}
+	capped := 0
+	for _, d := range samples(m, 50000, 0) {
+		if d < m.Min {
+			t.Fatalf("Exponential drew %v below Min", d)
+		}
+		if d > m.Cap {
+			t.Fatalf("Exponential drew %v above Cap %v", d, m.Cap)
+		}
+		if d == m.Cap {
+			capped++
+		}
+	}
+	if capped == 0 {
+		t.Error("cap never hit despite Mean close to Cap")
+	}
+}
+
+func TestExponentialUncapped(t *testing.T) {
+	m := Exponential{Min: time.Millisecond, Mean: 10 * time.Millisecond}
+	max := time.Duration(0)
+	for _, d := range samples(m, 50000, 0) {
+		if d > max {
+			max = d
+		}
+	}
+	if max <= 50*time.Millisecond {
+		t.Errorf("uncapped exponential tail too short: max %v", max)
+	}
+}
+
+func TestParetoScaleFloorAndCap(t *testing.T) {
+	m := Pareto{Scale: 2 * time.Millisecond, Alpha: 1, Cap: 100 * time.Millisecond}
+	capped := 0
+	for _, d := range samples(m, 100000, 0) {
+		if d < m.Scale {
+			t.Fatalf("Pareto drew %v below Scale (U^(-1/α) ≥ 1)", d)
+		}
+		if d > m.Cap {
+			t.Fatalf("Pareto drew %v above Cap", d)
+		}
+		if d == m.Cap {
+			capped++
+		}
+	}
+	if capped == 0 {
+		t.Error("α=1 Pareto with a 50×Scale cap should hit the cap")
+	}
+}
+
+func TestParetoNonPositiveAlphaDefaults(t *testing.T) {
+	bad := Pareto{Scale: time.Millisecond, Alpha: 0, Cap: time.Second}
+	good := Pareto{Scale: time.Millisecond, Alpha: 1, Cap: time.Second}
+	a, b := samples(bad, 1000, 0), samples(good, 1000, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Alpha=0 must fall back to α=1: sample %d differs (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBiasDirections(t *testing.T) {
+	m := Bias{
+		Base:    Constant{D: 10 * time.Millisecond},
+		Fast:    Constant{D: time.Millisecond},
+		Favored: ident.SetOf(2),
+	}
+	r := rand.New(rand.NewSource(1))
+	if d := m.Delay(r, 2, 5, 0); d != time.Millisecond {
+		t.Errorf("favored sender not accelerated: %v", d)
+	}
+	if d := m.Delay(r, 5, 2, 0); d != time.Millisecond {
+		t.Errorf("favored receiver not accelerated: %v", d)
+	}
+	if d := m.Delay(r, 4, 5, 0); d != 10*time.Millisecond {
+		t.Errorf("unfavored pair accelerated: %v", d)
+	}
+}
+
+func TestDisturbanceWindowBoundaries(t *testing.T) {
+	m := Disturbance{
+		Base:   Constant{D: time.Millisecond},
+		Nodes:  ident.SetOf(3),
+		Start:  10 * time.Second,
+		End:    20 * time.Second,
+		Factor: 100,
+	}
+	r := rand.New(rand.NewSource(1))
+	cases := []struct {
+		now  time.Duration
+		want time.Duration
+	}{
+		{10*time.Second - time.Nanosecond, time.Millisecond},       // before window
+		{10 * time.Second, 100 * time.Millisecond},                 // start inclusive
+		{20*time.Second - time.Nanosecond, 100 * time.Millisecond}, // window interior
+		{20 * time.Second, time.Millisecond},                       // end exclusive
+	}
+	for _, c := range cases {
+		if d := m.Delay(r, 3, 1, c.now); d != c.want {
+			t.Errorf("at %v: delay = %v, want %v", c.now, d, c.want)
+		}
+	}
+	// Untouched pairs are never disturbed.
+	if d := m.Delay(r, 1, 2, 15*time.Second); d != time.Millisecond {
+		t.Errorf("undisturbed pair slowed: %v", d)
+	}
+}

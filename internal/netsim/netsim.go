@@ -128,9 +128,10 @@ func (n *Network) SetLinkFilter(f func(from, to ident.ID, now time.Duration) boo
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// send is the single transmission path. When a neighborhood is configured
-// for the sender, point-to-point sends outside it are dropped too: in the
-// radio model a node can only talk to processes within its range.
+// send is the single unicast transmission path. When a neighborhood is
+// configured for the sender, point-to-point sends outside it are dropped
+// too: in the radio model a node can only talk to processes within its
+// range.
 func (n *Network) send(from, to ident.ID, payload any) {
 	if n.crashed.Has(from) || from == to {
 		return
@@ -138,6 +139,16 @@ func (n *Network) send(from, to ident.ID, payload any) {
 	if nb, ok := n.neighbors[from]; ok && !nb.Has(to) {
 		return
 	}
+	delay, ok := n.admit(from, to, payload)
+	if !ok {
+		return
+	}
+	n.sim.After(delay, func() { n.deliver(from, to, payload) })
+}
+
+// admit runs the send-time checks shared by unicast and broadcast — stats,
+// link filter, loss — and samples the link delay for an admitted message.
+func (n *Network) admit(from, to ident.ID, payload any) (time.Duration, bool) {
 	now := n.sim.Now()
 	n.stats.Sent++
 	if n.cfg.SizeOf != nil {
@@ -145,24 +156,26 @@ func (n *Network) send(from, to ident.ID, payload any) {
 	}
 	if n.filter != nil && !n.filter(from, to, now) {
 		n.stats.Dropped++
-		return
+		return 0, false
 	}
 	if n.cfg.DropRate > 0 && n.sim.Rand().Float64() < n.cfg.DropRate {
 		n.stats.Dropped++
+		return 0, false
+	}
+	return n.cfg.Delay.Delay(n.sim.Rand(), from, to, now), true
+}
+
+// deliver hands payload to the destination process, if it is still alive.
+func (n *Network) deliver(from, to ident.ID, payload any) {
+	if n.crashed.Has(to) {
 		return
 	}
-	delay := n.cfg.Delay.Delay(n.sim.Rand(), from, to, now)
-	n.sim.After(delay, func() {
-		if n.crashed.Has(to) {
-			return
-		}
-		h, ok := n.handlers[to]
-		if !ok {
-			return
-		}
-		n.stats.Delivered++
-		h.Deliver(from, payload)
-	})
+	h, ok := n.handlers[to]
+	if !ok {
+		return
+	}
+	n.stats.Delivered++
+	h.Deliver(from, payload)
 }
 
 // Env binds one process identity to the network; it implements node.Env.
@@ -194,10 +207,25 @@ func (e *Env) After(d time.Duration, fn func()) node.Timer {
 func (e *Env) Send(to ident.ID, payload any) { e.net.send(e.id, to, payload) }
 
 // Broadcast implements node.Env: one message per neighbor, each with an
-// independent delay (models per-link radio/unicast fan-out).
+// independent delay (models per-link radio/unicast fan-out). The whole
+// fan-out is handed to the kernel as a single batch node — one scheduling
+// operation instead of one heap insertion per neighbor — with delivery
+// order identical to per-neighbor sends.
 func (e *Env) Broadcast(payload any) {
-	e.net.Neighbors(e.id).ForEach(func(to ident.ID) bool {
-		e.net.send(e.id, to, payload)
+	n := e.net
+	if n.crashed.Has(e.id) {
+		return
+	}
+	neighbors := n.Neighbors(e.id)
+	items := make([]des.BatchItem, 0, neighbors.Len())
+	from := e.id
+	neighbors.ForEach(func(to ident.ID) bool {
+		delay, ok := n.admit(from, to, payload)
+		if !ok {
+			return true
+		}
+		items = append(items, des.BatchItem{D: delay, Fn: func() { n.deliver(from, to, payload) }})
 		return true
 	})
+	n.sim.Batch(items)
 }

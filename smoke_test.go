@@ -1,0 +1,74 @@
+package asyncfd_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesBuildAndRun is the compile-level regression net for the facade
+// API: every main package under cmd/ and examples/ must build, and the cmd
+// binaries must answer -h without hanging (examples run full simulations and
+// are only built).
+func TestBinariesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mains := func(dir string) []string {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		var out []string
+		for _, e := range entries {
+			if e.IsDir() {
+				out = append(out, "./"+dir+"/"+e.Name())
+			}
+		}
+		return out
+	}
+	cmds := mains("cmd")
+	examples := mains("examples")
+	if len(cmds) == 0 || len(examples) == 0 {
+		t.Fatal("no main packages found under cmd/ or examples/")
+	}
+
+	bin := t.TempDir()
+	build := exec.Command(goTool, append([]string{"build", "-o", bin + string(os.PathSeparator)}, append(cmds, examples...)...)...)
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s", err, out)
+	}
+
+	for _, pkg := range cmds {
+		pkg := pkg
+		name := filepath.Base(pkg)
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			out, _ := exec.CommandContext(ctx, filepath.Join(bin, name), "-h").CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("%s -h did not exit", name)
+			}
+			// flag's -h prints the usage/flag listing; the binary must not
+			// start a run.
+			text := string(out)
+			if !strings.Contains(text, "-seed") && !strings.Contains(strings.ToLower(text), "usage") {
+				t.Errorf("%s -h produced no usage text:\n%s", name, text)
+			}
+		})
+	}
+}

@@ -4,8 +4,21 @@
 //
 // Usage:
 //
-//	fdbench [-exp all|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|X1|X2] [-quick] [-seed N]
-//	        [-parallel N] [-json FILE]
+//	fdbench [-exp all|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|R1|R2|X1|X2] [-quick]
+//	        [-seed N] [-parallel N] [-json FILE]
+//
+// Besides the paper-family tables (E1–E8), the ablations (A1, A2) and the
+// partial-connectivity extensions (X1, X2), the sweep includes the
+// fault-scenario tables built on the generalized fault subsystem
+// (internal/faults.Schedule):
+//
+//   - R1: crash-recovery — a process crashes, rejoins with fresh or
+//     persisted detector state and crashes again; reports detection,
+//     trust-restoration and re-detection times plus the post-restart
+//     mistake storm, per detector.
+//   - R2: partition/heal — a minority island is cut off for a window and
+//     then healed; reports the partition-window mistake storm and the
+//     re-convergence settle time after the heal, per detector.
 //
 // -parallel sizes the worker pool experiment cells run on: 1 = serial
 // (default), N > 1 = that many workers, 0 or negative = one worker per CPU.
@@ -35,6 +48,13 @@
 //	    ...                           // sweep total
 //	  ]
 //	}
+//
+// Row kinds in "experiments": ids E1–E8 are the reconstructed paper-family
+// tables, A1/A2 the ablations, R1/R2 the fault-scenario sweeps
+// (crash-recovery and partition/heal), and X1/X2 the partial-connectivity
+// extensions. The schema identifier stays asyncfd-bench/v1: rows gained new
+// id values, not new fields, so consumers keyed on the id set remain
+// compatible.
 //
 // Committed BENCH_*.json files at the repo root use this schema to track the
 // engine's throughput trajectory across PRs.
@@ -83,7 +103,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
-	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, X1, X2) or 'all'")
+	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2) or 'all'")
 	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 1, "worker pool size; 0 or negative = one worker per CPU")

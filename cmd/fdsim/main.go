@@ -1,10 +1,23 @@
 // Command fdsim runs a single simulated failure-detector scenario and prints
-// the suspicion timeline plus QoS summary.
+// the suspicion timeline plus QoS summary. Beyond the classic single
+// crash-stop failure it drives the generalized fault scenarios: a
+// crash-recovery (the crashed process rejoins with fresh or persisted
+// detector state, optionally crashing again) and a partition/heal window
+// that cuts a minority island off the cluster.
 //
 // Usage:
 //
 //	fdsim [-kind async|heartbeat|phi-accrual|chen-nfde] [-n 8] [-f 2]
-//	      [-crash 4] [-crash-at 10s] [-dur 30s] [-seed 1] [-trace]
+//	      [-crash 4] [-crash-at 10s] [-recover-at 0] [-fresh]
+//	      [-crash2-at 0] [-partition-at 0] [-heal-at 0] [-island 0]
+//	      [-dur 30s] [-seed 1] [-trace]
+//
+// -recover-at > 0 revives the crashed process at that time (-fresh selects
+// fresh vs. persisted detector state) and -crash2-at > 0 crashes it a second
+// time, reporting re-detection and trust-restoration metrics. -partition-at
+// with -heal-at cuts off the last -island processes (default n/4) for the
+// window and reports the mistake storm and the re-convergence time after the
+// heal.
 package main
 
 import (
@@ -34,6 +47,12 @@ func run(args []string) error {
 	f := fs.Int("f", 2, "crash bound f")
 	crash := fs.Int("crash", -1, "process to crash (-1 = none)")
 	crashAt := fs.Duration("crash-at", 10*time.Second, "crash time")
+	recoverAt := fs.Duration("recover-at", 0, "recovery time of the crashed process (0 = crash-stop)")
+	fresh := fs.Bool("fresh", true, "recover with fresh detector state (false = persisted)")
+	crash2At := fs.Duration("crash2-at", 0, "second crash time after the recovery (0 = none)")
+	partitionAt := fs.Duration("partition-at", 0, "cut a minority island off at this time (0 = no partition)")
+	healAt := fs.Duration("heal-at", 0, "heal the partition at this time")
+	island := fs.Int("island", 0, "size of the minority island (0 = n/4, at least 1)")
 	dur := fs.Duration("dur", 30*time.Second, "virtual run duration")
 	seed := fs.Int64("seed", 1, "random seed")
 	showTrace := fs.Bool("trace", true, "print the suspicion event timeline")
@@ -51,17 +70,74 @@ func run(args []string) error {
 		return fmt.Errorf("unknown detector kind %q", *kindName)
 	}
 
-	c, err := exp.NewCluster(exp.ClusterConfig{
+	if *recoverAt > 0 {
+		if *crash < 0 {
+			return fmt.Errorf("-recover-at needs -crash")
+		}
+		if *recoverAt <= *crashAt {
+			return fmt.Errorf("-recover-at %v must be after -crash-at %v", *recoverAt, *crashAt)
+		}
+		if *crash2At > 0 && *crash2At <= *recoverAt {
+			return fmt.Errorf("-crash2-at %v must be after -recover-at %v", *crash2At, *recoverAt)
+		}
+	} else if *crash2At > 0 {
+		return fmt.Errorf("-crash2-at needs -recover-at")
+	}
+	if *healAt > 0 {
+		if *partitionAt <= 0 {
+			return fmt.Errorf("-heal-at needs -partition-at")
+		}
+		if *healAt <= *partitionAt {
+			return fmt.Errorf("-heal-at %v must be after -partition-at %v", *healAt, *partitionAt)
+		}
+	}
+
+	cfg := exp.ClusterConfig{
 		Kind: kind, N: *n, F: *f, Seed: *seed,
 		Delay: netsim.Exponential{Min: 500 * time.Microsecond, Mean: 700 * time.Microsecond, Cap: 100 * time.Millisecond},
-	})
+	}
+	if *partitionAt > 0 {
+		// A cut-off island cannot reach the async quorum; rebroadcast lets
+		// its stalled queries complete after the heal.
+		cfg.Rebroadcast = 2 * time.Second
+	}
+	c, err := exp.NewCluster(cfg)
 	if err != nil {
 		return err
 	}
-	truth := &qos.GroundTruth{}
+
+	schedule := faults.Schedule{}
+	victim := ident.ID(*crash)
 	if *crash >= 0 {
-		truth = c.Apply(faults.Plan{}.CrashAt(ident.ID(*crash), *crashAt))
+		schedule = schedule.CrashAt(victim, *crashAt)
+		if *recoverAt > 0 {
+			schedule = schedule.RecoverAt(victim, *recoverAt, *fresh)
+			if *crash2At > 0 {
+				schedule = schedule.CrashAt(victim, *crash2At)
+			}
+		}
 	}
+	var minority []ident.ID
+	if *partitionAt > 0 {
+		size := *island
+		if size <= 0 {
+			size = *n / 4
+		}
+		if size < 1 {
+			size = 1
+		}
+		if size >= *n {
+			return fmt.Errorf("island size %d must be smaller than n=%d", size, *n)
+		}
+		for i := *n - size; i < *n; i++ {
+			minority = append(minority, ident.ID(i))
+		}
+		schedule = schedule.PartitionAt(*partitionAt, minority)
+		if *healAt > *partitionAt {
+			schedule = schedule.HealAt(*healAt)
+		}
+	}
+	truth := c.Apply(schedule)
 	c.RunUntil(*dur)
 
 	fmt.Printf("detector=%v n=%d f=%d seed=%d horizon=%v\n\n", kind, *n, *f, *seed, *dur)
@@ -78,10 +154,39 @@ func run(args []string) error {
 	}
 	if *crash >= 0 {
 		observers := c.Members.Clone()
-		observers.Remove(ident.ID(*crash))
-		det := qos.DetectionTimes(c.Log, truth, ident.ID(*crash), observers)
-		fmt.Printf("detection of p%d: avg=%v min=%v max=%v detected-by=%d missing=%d\n",
-			*crash, det.Avg, det.Min, det.Max, det.Count, det.Missing)
+		observers.Remove(victim)
+		if *recoverAt > 0 {
+			det := qos.RedetectionTimes(c.Log, truth, victim, observers, 0)
+			fmt.Printf("detection of %v (crash #1): avg=%v min=%v max=%v detected-by=%d missing=%d\n",
+				victim, det.Avg, det.Min, det.Max, det.Count, det.Missing)
+			rst := qos.TrustRestorationTimes(c.Log, truth, victim, observers, 0)
+			fmt.Printf("trust restoration after recovery: avg=%v max=%v restored-by=%d never=%d\n",
+				rst.Avg, rst.Max, rst.Count, rst.Missing)
+			if *crash2At > 0 {
+				det2 := qos.RedetectionTimes(c.Log, truth, victim, observers, 1)
+				fmt.Printf("re-detection (crash #2): avg=%v min=%v max=%v detected-by=%d missing=%d\n",
+					det2.Avg, det2.Min, det2.Max, det2.Count, det2.Missing)
+				storm := qos.MistakeStorm(c.Log, truth, c.Members, *recoverAt, *crash2At)
+				fmt.Printf("mistake storm while recovered: %d false-suspicion episodes\n", storm)
+			}
+		} else {
+			det := qos.DetectionTimes(c.Log, truth, victim, observers)
+			fmt.Printf("detection of %v: avg=%v min=%v max=%v detected-by=%d missing=%d\n",
+				victim, det.Avg, det.Min, det.Max, det.Count, det.Missing)
+		}
+	}
+	if *partitionAt > 0 {
+		end := *healAt
+		if end <= *partitionAt {
+			end = *dur
+		}
+		storm := qos.MistakeStorm(c.Log, truth, c.Members, *partitionAt, end)
+		fmt.Printf("partition window [%v,%v) island=%v: %d false-suspicion episodes\n",
+			*partitionAt, end, minority, storm)
+		if *healAt > *partitionAt {
+			settle, clean := qos.Reconvergence(c.Log, truth, c.Members, *healAt)
+			fmt.Printf("re-convergence after heal: settle=%v clean=%v\n", settle, clean)
+		}
 	}
 	mist := qos.Mistakes(c.Log, truth, c.Members, *dur)
 	pa := qos.QueryAccuracy(c.Log, truth, c.Members, *dur)

@@ -44,7 +44,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		truth := c.Apply(faults.Plan{}.CrashAt(crash, crashAt))
+		truth := c.Apply(faults.Schedule{}.CrashAt(crash, crashAt))
 		c.RunUntil(horizon)
 
 		observers := c.Members.Clone()

@@ -68,6 +68,11 @@ type peerState struct {
 	maxSeq    uint64
 	suspected bool
 	timer     node.Timer
+	// bootstrap marks a window holding only the synthetic restart sample;
+	// the first real heartbeat replaces it wholesale, because mixing the
+	// restart-era sample with post-restart sequence numbers would corrupt
+	// the expected-arrival estimate.
+	bootstrap bool
 }
 
 // Node is an NFD-E detector node. Safe for concurrent use.
@@ -83,6 +88,7 @@ type Node struct {
 
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
+var _ fd.Restartable = (*Node)(nil)
 
 // NewNode builds an NFD-E detector on env.
 func NewNode(env node.Env, cfg Config) (*Node, error) {
@@ -110,6 +116,38 @@ func (n *Node) Start() {
 	now := n.env.Now()
 	for p, st := range n.peers {
 		st.push(sample{seq: 0, arrival: now}, n.cfg.WindowSize)
+		n.armLocked(p, st)
+	}
+	n.tickLocked()
+}
+
+// Restart implements fd.Restartable. The heartbeat sequence counter is
+// never reset — it doubles as an incarnation number, so peers (which
+// discard non-increasing sequences) keep trusting the restarted sender.
+// Fresh state drops each peer's arrival window and suspicion (emitting the
+// implied restores) and re-bootstraps monitoring with a grace period of
+// Δ + α; persisted state keeps the windows, whose now-stale expected
+// arrivals typically make the node suspect everyone until fresh heartbeats
+// arrive — the honest cost of resuming NFD-E from old state.
+func (n *Node) Restart(fresh bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.beat != nil {
+		n.beat.Stop()
+	}
+	n.stopped = false
+	now := n.env.Now()
+	for p, st := range n.peers {
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+		if fresh {
+			if st.suspected {
+				n.emitLocked(p, false)
+			}
+			*st = peerState{bootstrap: true}
+			st.push(sample{seq: 0, arrival: now}, n.cfg.WindowSize)
+		}
 		n.armLocked(p, st)
 	}
 	n.tickLocked()
@@ -201,6 +239,18 @@ func (n *Node) Deliver(from ident.ID, payload any) {
 	}
 	if m.Seq <= st.maxSeq {
 		return // stale or reordered heartbeat; the freshest already counted
+	}
+	if st.bootstrap || st.suspected {
+		// A heartbeat from a suspected peer proves the expected-arrival
+		// estimate wrong — after a sender's downtime the estimate stays
+		// wrong forever, because the sequence numbers stopped advancing
+		// while the clock did not. Rebase the window on this arrival alone
+		// (as with the restart bootstrap) instead of mixing incompatible
+		// eras, which would otherwise flap once per heartbeat until the
+		// window turns over.
+		st.samples = st.samples[:0]
+		st.next = 0
+		st.bootstrap = false
 	}
 	st.push(sample{seq: m.Seq, arrival: n.env.Now()}, n.cfg.WindowSize)
 	if st.suspected {

@@ -203,3 +203,79 @@ func TestStop(t *testing.T) {
 		t.Errorf("stopped nodes produced events:\n%s", c.log)
 	}
 }
+
+func TestRestartNoFlappingAfterSenderDowntime(t *testing.T) {
+	// p1's downtime shifts its seq/time relationship; the observers must
+	// rebase their expected-arrival window on the first post-recovery
+	// heartbeat instead of flapping once per heartbeat (the mixed-era EA
+	// pathology).
+	const (
+		interval = time.Second
+		alpha    = 300 * time.Millisecond
+	)
+	c := newCluster(t, 3, netsim.Constant{D: 10 * time.Millisecond}, interval, alpha)
+	c.sim.At(5*time.Second, func() { c.net.Crash(1) })
+	c.sim.At(15*time.Second, func() {
+		c.net.Recover(1)
+		c.nodes[1].Restart(true)
+	})
+	c.sim.RunUntil(40 * time.Second)
+	if c.nodes[0].IsSuspected(1) {
+		t.Fatal("recovered sender still suspected")
+	}
+	// Count p0's suspicion episodes about p1: exactly one (the downtime).
+	episodes := 0
+	for _, e := range c.log.Events() {
+		if e.Observer == 0 && e.Subject == 1 && e.Suspected {
+			episodes++
+		}
+	}
+	if episodes != 1 {
+		t.Errorf("p0 suspected p1 %d times, want exactly 1 (no post-recovery flapping)", episodes)
+	}
+}
+
+func TestRestartFreshGracePeriod(t *testing.T) {
+	// A fresh restart must not instantly suspect every peer: the bootstrap
+	// window grants ≈ Δ + α of grace, within which live peers' heartbeats
+	// arrive.
+	const (
+		interval = time.Second
+		alpha    = 300 * time.Millisecond
+	)
+	c := newCluster(t, 3, netsim.Constant{D: 10 * time.Millisecond}, interval, alpha)
+	c.sim.At(5*time.Second, func() { c.net.Crash(0) })
+	c.sim.At(12*time.Second, func() {
+		c.net.Recover(0)
+		c.nodes[0].Restart(true)
+	})
+	c.sim.RunUntil(20 * time.Second)
+	if n := c.nodes[0].Suspects().Len(); n != 0 {
+		t.Errorf("fresh-restarted node suspects %d live peers", n)
+	}
+	for _, e := range c.log.Events() {
+		if e.Observer == 0 && e.Suspected && e.At >= 12*time.Second {
+			t.Errorf("fresh-restarted node falsely suspected %v at %v", e.Subject, e.At)
+		}
+	}
+}
+
+func TestRestartKeepsSequenceMonotonic(t *testing.T) {
+	// The heartbeat sequence counter survives a fresh restart (it acts as an
+	// incarnation number); otherwise peers would discard the restarted
+	// sender's heartbeats as stale forever.
+	c := newCluster(t, 2, netsim.Constant{D: 10 * time.Millisecond}, time.Second, 300*time.Millisecond)
+	c.sim.At(5*time.Second, func() { c.net.Crash(1) })
+	c.sim.RunUntil(10 * time.Second)
+	if !c.nodes[0].IsSuspected(1) {
+		t.Fatal("crash not detected")
+	}
+	c.sim.At(11*time.Second, func() {
+		c.net.Recover(1)
+		c.nodes[1].Restart(true)
+	})
+	c.sim.RunUntil(15 * time.Second)
+	if c.nodes[0].IsSuspected(1) {
+		t.Error("restarted sender never re-trusted: its heartbeats were discarded as stale")
+	}
+}

@@ -640,3 +640,32 @@ func BenchmarkHandleQuery(b *testing.B) {
 		d.HandleQuery(q)
 	}
 }
+
+func TestAbortRound(t *testing.T) {
+	d := mustDetector(t, knownCfg(0, 3, 1))
+	q := d.BeginRound()
+	d.AbortRound()
+	if d.RoundOpen() {
+		t.Error("round still open after abort")
+	}
+	if d.HandleResponse(Response{From: 1, Round: q.Round}) {
+		t.Error("response to the aborted round counted")
+	}
+	// A new round starts cleanly past the aborted one.
+	q2 := d.BeginRound()
+	if q2.Round != q.Round+1 {
+		t.Errorf("round after abort = %d, want %d", q2.Round, q.Round+1)
+	}
+	if d.HandleResponse(Response{From: 1, Round: q.Round}) {
+		t.Error("stale response for the aborted round counted against the new one")
+	}
+	// Repeated aborts are harmless, and a further round still opens.
+	d.AbortRound()
+	d.AbortRound()
+	if d.RoundOpen() {
+		t.Error("round open after double abort")
+	}
+	if q3 := d.BeginRound(); q3.Round != q.Round+2 {
+		t.Errorf("round after second abort = %d, want %d", q3.Round, q.Round+2)
+	}
+}

@@ -53,6 +53,7 @@ type Node struct {
 
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
+var _ fd.Restartable = (*Node)(nil)
 
 // NewNode builds the runtime node. The environment's identity must match
 // the detector configuration.
@@ -93,6 +94,46 @@ func (o *nodeObserver) FDEvent(e Event) {
 func (n *Node) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.startRoundLocked()
+}
+
+// Restart implements fd.Restartable. A fresh restart rebuilds the protocol
+// state machine from its initial state — counter, suspected/mistake sets
+// and, in the unknown-membership model, the learned known set are all lost
+// in the reboot — and emits the implied restore transitions; a persisted
+// restart keeps the state machine and merely abandons the query round that
+// was in flight when the process crashed. Either way a new round starts
+// immediately. A freshly reset counter is harmless: self-refutation bumps
+// it above any received suspicion tag (task T2), so the restarted process
+// can still clear stale suspicions of itself.
+func (n *Node) Restart(fresh bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pending != nil {
+		n.pending.Stop()
+		n.pending = nil
+	}
+	n.stopRequeryLocked()
+	n.stopped = false
+	if fresh {
+		if n.cfg.Sink != nil {
+			now := n.env.Now()
+			n.det.Suspects().ForEach(func(subj ident.ID) bool {
+				n.cfg.Sink.OnSuspicion(now, n.env.Self(), subj, false)
+				return true
+			})
+		}
+		detCfg := n.cfg.Detector
+		detCfg.Observer = (*nodeObserver)(n)
+		det, err := NewDetector(detCfg)
+		if err != nil {
+			// Unreachable: the same configuration validated at NewNode.
+			panic(fmt.Sprintf("core: Restart: %v", err))
+		}
+		n.det = det
+	} else if n.det.RoundOpen() {
+		n.det.AbortRound()
+	}
 	n.startRoundLocked()
 }
 

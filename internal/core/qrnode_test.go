@@ -254,3 +254,50 @@ func BenchmarkClusterSecond(b *testing.B) {
 		sim.RunUntil(time.Second)
 	}
 }
+
+func TestNodeRestartFreshResetsAndConverges(t *testing.T) {
+	c := newSimCluster(t, 5, 4, 1, netsim.Constant{D: time.Millisecond}, 5*time.Millisecond, 100*time.Millisecond)
+	c.sim.At(2*time.Second, func() { c.net.Crash(3) })
+	c.sim.RunUntil(5 * time.Second)
+	if !c.nodes[0].IsSuspected(3) {
+		t.Fatal("crash of p3 not detected")
+	}
+	c.sim.At(6*time.Second, func() {
+		c.net.Recover(3)
+		c.nodes[3].Restart(true)
+	})
+	c.sim.RunUntil(12 * time.Second)
+	for i, nd := range c.nodes {
+		if nd.IsSuspected(3) {
+			t.Errorf("p%d still suspects the recovered p3", i)
+		}
+	}
+	if n := c.nodes[3].Suspects().Len(); n != 0 {
+		t.Errorf("fresh-restarted node kept %d suspicions", n)
+	}
+	if c.nodes[3].Rounds() == 0 {
+		t.Error("restarted node never completed a round")
+	}
+}
+
+func TestNodeRestartPersistedAbandonsInFlightRound(t *testing.T) {
+	c := newSimCluster(t, 5, 4, 1, netsim.Constant{D: time.Millisecond}, 5*time.Millisecond, 100*time.Millisecond)
+	// Crash p3 mid-run; its in-flight round (if any) must be abandoned on
+	// the persisted restart without panicking BeginRound, and rounds resume.
+	var before uint64
+	c.sim.At(2*time.Second, func() { c.net.Crash(3) })
+	c.sim.At(3*time.Second, func() { before = c.nodes[3].Rounds() })
+	c.sim.At(4*time.Second, func() {
+		c.net.Recover(3)
+		c.nodes[3].Restart(false)
+	})
+	c.sim.RunUntil(10 * time.Second)
+	if after := c.nodes[3].Rounds(); after <= before {
+		t.Errorf("rounds did not advance after persisted restart: before=%d after=%d", before, after)
+	}
+	for i, nd := range c.nodes {
+		if nd.IsSuspected(3) {
+			t.Errorf("p%d still suspects the recovered p3", i)
+		}
+	}
+}

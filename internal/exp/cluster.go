@@ -75,6 +75,7 @@ type ClusterConfig struct {
 	// Async knobs (KindAsync).
 	Window      time.Duration // extra collection window per round (the Δ of the paper's evaluation)
 	Interval    time.Duration // pause between rounds
+	Rebroadcast time.Duration // re-query period while the quorum is unmet (needed under partitions)
 	DisableTags bool          // A1 ablation only
 
 	// Timer-based knobs.
@@ -106,6 +107,7 @@ func (c *ClusterConfig) fillDefaults() {
 type runner interface {
 	Start()
 	Stop()
+	Restart(fresh bool) // fd.Restartable: crash-recovery support
 	Deliver(from ident.ID, payload any)
 }
 
@@ -190,9 +192,10 @@ func buildNode(env *netsim.Env, id ident.ID, cfg ClusterConfig, log *trace.Log) 
 				F:           cfg.F,
 				DisableTags: cfg.DisableTags,
 			},
-			Window:   cfg.Window,
-			Interval: cfg.Interval,
-			Sink:     log,
+			Window:      cfg.Window,
+			Interval:    cfg.Interval,
+			Rebroadcast: cfg.Rebroadcast,
+			Sink:        log,
 		})
 		return n, n, err
 	case KindHeartbeat:
@@ -238,8 +241,16 @@ func (c *Cluster) Inject(to, from ident.ID, payload any) {
 	}
 }
 
-// Apply schedules a crash plan, returning the ground truth.
-func (c *Cluster) Apply(p faults.Plan) *qos.GroundTruth { return p.Apply(c.Sim, c.Net) }
+// Apply schedules a fault scenario, returning the ground truth. Recovery
+// events restart the process's detector runtime (fresh or persisted state)
+// after the network layer has revived it.
+func (c *Cluster) Apply(s faults.Schedule) *qos.GroundTruth {
+	return s.ApplyFunc(c.Sim, c.Net, func(id ident.ID, fresh bool) {
+		if n, ok := c.nodes[id]; ok {
+			n.Restart(fresh)
+		}
+	})
+}
 
 // RunUntil advances virtual time to t.
 func (c *Cluster) RunUntil(t time.Duration) { c.Sim.RunUntil(t) }

@@ -162,6 +162,8 @@ func Experiments() []NamedExperiment {
 		{"E8", E8Propagation},
 		{"A1", A1TagsAblation},
 		{"A2", A2WindowAblation},
+		{"R1", R1CrashRecovery},
+		{"R2", R2PartitionHeal},
 		{"X1", X1DensityExt},
 		{"X2", X2MobilityExt},
 	}

@@ -70,7 +70,7 @@ func TestClusterEachKindDetectsCrash(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			truth := c.Apply(faults.Plan{}.CrashAt(4, 5*time.Second))
+			truth := c.Apply(faults.Schedule{}.CrashAt(4, 5*time.Second))
 			c.RunUntil(30 * time.Second)
 			st := qos.DetectionTimes(c.Log, truth, 4, ident.SetOf(0, 1, 2, 3))
 			if st.Count != 4 || st.Missing != 0 {
@@ -80,6 +80,115 @@ func TestClusterEachKindDetectsCrash(t *testing.T) {
 				t.Error("detector output does not reflect the crash")
 			}
 		})
+	}
+}
+
+func TestClusterEachKindSurvivesCrashRecovery(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		for _, fresh := range []bool{true, false} {
+			fresh := fresh
+			name := kind.String() + "/persisted"
+			if fresh {
+				name = kind.String() + "/fresh"
+			}
+			t.Run(name, func(t *testing.T) {
+				c, err := NewCluster(ClusterConfig{
+					Kind: kind, N: 5, F: 1, Seed: 7,
+					Delay: netsim.Constant{D: time.Millisecond},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				victim := ident.ID(4)
+				observers := ident.SetOf(0, 1, 2, 3)
+				truth := c.Apply(faults.Schedule{}.
+					CrashAt(victim, 5*time.Second).
+					RecoverAt(victim, 15*time.Second, fresh).
+					CrashAt(victim, 30*time.Second))
+				c.RunUntil(50 * time.Second)
+
+				det1 := qos.RedetectionTimes(c.Log, truth, victim, observers, 0)
+				if det1.Count != 4 || det1.Missing != 0 {
+					t.Fatalf("crash #1 detection = %+v", det1)
+				}
+				rst := qos.TrustRestorationTimes(c.Log, truth, victim, observers, 0)
+				if rst.Missing != 0 || rst.Count == 0 {
+					t.Fatalf("trust restoration = %+v; observers never re-trusted the restarted process", rst)
+				}
+				det2 := qos.RedetectionTimes(c.Log, truth, victim, observers, 1)
+				if det2.Count != 4 || det2.Missing != 0 {
+					t.Fatalf("crash #2 re-detection = %+v", det2)
+				}
+				if !c.Detector(0).IsSuspected(victim) {
+					t.Error("detector output does not reflect the second crash")
+				}
+			})
+		}
+	}
+}
+
+func TestClusterPartitionHealAllKindsReconverge(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c, err := NewCluster(ClusterConfig{
+				Kind: kind, N: 6, F: 2, Seed: 3,
+				Delay:       netsim.Constant{D: time.Millisecond},
+				Rebroadcast: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := c.Apply(faults.Schedule{}.
+				PartitionAt(10*time.Second, []ident.ID{5}).
+				HealAt(20 * time.Second))
+			c.RunUntil(45 * time.Second)
+			storm := qos.MistakeStorm(c.Log, truth, c.Members, 10*time.Second, 20*time.Second)
+			if storm == 0 {
+				t.Error("partition produced no false suspicions of the cut-off minority")
+			}
+			settle, clean := qos.Reconvergence(c.Log, truth, c.Members, 20*time.Second)
+			if !clean {
+				t.Errorf("cluster did not re-converge after the heal (settle=%v)", settle)
+			}
+			c.Members.ForEach(func(id ident.ID) bool {
+				if n := c.Detector(id).Suspects().Len(); n != 0 {
+					t.Errorf("%v still suspects %d processes at the end", id, n)
+				}
+				return true
+			})
+		})
+	}
+}
+
+func TestR1(t *testing.T) {
+	tbl, err := R1CrashRecovery(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 { // 4 detectors × 2 state modes
+		t.Fatalf("rows = %d, want 8", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "0" {
+			t.Errorf("row %v: some observer never re-detected the second crash", row)
+		}
+	}
+}
+
+func TestR2(t *testing.T) {
+	tbl, err := R2PartitionHeal(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 detectors", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if !strings.HasSuffix(row[4], "/1") || strings.HasPrefix(row[4], "0/") {
+			t.Errorf("row %v: runs did not re-converge cleanly", row)
+		}
 	}
 }
 

@@ -60,7 +60,7 @@ func detectionRun(opts Options, cfg ClusterConfig, crash ident.ID, crashAt, hori
 	if err != nil {
 		return qos.DetectionStats{}, nil, err
 	}
-	truth := c.Apply(faults.Plan{}.CrashAt(crash, crashAt))
+	truth := c.Apply(faults.Schedule{}.CrashAt(crash, crashAt))
 	c.RunUntil(horizon)
 	opts.record(c.Sim)
 	observers := c.Members.Clone()
@@ -199,7 +199,7 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 				if err != nil {
 					return e2run{}, fmt.Errorf("E2 f=%d: %w", f, err)
 				}
-				truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 10*time.Second))
+				truth := c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 10*time.Second))
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
 				observers := c.Members.Clone()
@@ -720,7 +720,7 @@ func A2WindowAblation(opts Options) (*Table, error) {
 			if err != nil {
 				return a2cell{}, fmt.Errorf("A2: %w", err)
 			}
-			truth := c.Apply(faults.Plan{}.CrashAt(ident.ID(n-1), 20*time.Second))
+			truth := c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 20*time.Second))
 			c.RunUntil(horizon)
 			opts.record(c.Sim)
 			observers := c.Members.Clone()

@@ -116,7 +116,7 @@ func X1DensityExt(opts Options) (*Table, error) {
 			if err != nil {
 				return qos.DetectionStats{}, fmt.Errorf("X1 gossip d=%d: %w", 2*k+1, err)
 			}
-			gtruth := faults.Plan{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
+			gtruth := faults.Schedule{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
 			gc.sim.RunUntil(horizon)
 			opts.record(gc.sim)
 			return qos.DetectionTimes(gc.log, gtruth, crash, observers), nil

@@ -39,6 +39,37 @@ func TestParallelByteIdenticalToSerial(t *testing.T) {
 	}
 }
 
+// TestScenarioTablesByteIdenticalToSerial pins the engine guarantee on the
+// fault-scenario sweeps specifically: crash-recovery restarts and
+// partition/heal windows run through the same seed-addressed job
+// decomposition, so their tables too must render byte-identically at any
+// worker count. (The full-sweep test above also covers them via All; this
+// isolates a failure to the scenario path.)
+func TestScenarioTablesByteIdenticalToSerial(t *testing.T) {
+	for _, scenario := range []struct {
+		name string
+		fn   func(Options) (*Table, error)
+	}{{"R1", R1CrashRecovery}, {"R2", R2PartitionHeal}} {
+		render := func(workers int) string {
+			tbl, err := scenario.fn(Options{Quick: true, Seed: 11, Parallel: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", scenario.name, workers, err)
+			}
+			var b strings.Builder
+			if err := tbl.Render(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}
+		serial := render(0)
+		for _, workers := range []int{2, -1} {
+			if parallel := render(workers); parallel != serial {
+				t.Fatalf("%s: parallel (workers=%d) table differs from serial", scenario.name, workers)
+			}
+		}
+	}
+}
+
 // TestParallelStableAcrossGOMAXPROCS re-runs the same seeded parallel sweep
 // under different GOMAXPROCS values; the output must not change.
 func TestParallelStableAcrossGOMAXPROCS(t *testing.T) {

@@ -1,0 +1,207 @@
+package exp
+
+// scenario_exp.go holds the fault-scenario sweeps enabled by the generalized
+// fault subsystem (internal/faults.Schedule): crash-recovery restarts and
+// partition/heal windows, measured with the interval-based recovery metrics
+// of internal/qos. Like every other table they decompose into seed-addressed
+// jobs on the shared runner, so parallel output is byte-identical to serial.
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"asyncfd/internal/faults"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/qos"
+)
+
+// R1CrashRecovery is the crash-recovery sweep: one process crashes, comes
+// back (with fresh or persisted detector state) and crashes again. For every
+// detector kind and state mode the table reports the initial detection time,
+// the trust-restoration time after the restart, the re-detection time of the
+// second crash, and the mistake storm the restart provokes while the process
+// is back up.
+func R1CrashRecovery(opts Options) (*Table, error) {
+	n, f := 8, 2
+	if opts.Quick {
+		n, f = 6, 2
+	}
+	const (
+		crash1    = 10 * time.Second
+		recoverAt = 20 * time.Second
+		crash2    = 35 * time.Second
+		horizon   = 50 * time.Second
+	)
+	victim := ident.ID(n - 1)
+	t := &Table{
+		ID:    "R1",
+		Title: "crash-recovery: detection, trust restoration and re-detection per detector",
+		Note: fmt.Sprintf("n=%d, f=%d; %v crashes at 10s, recovers at 20s (fresh or persisted state), crashes again at 35s; "+
+			"storm = false-suspicion episodes while it is back up", n, f, victim),
+		Columns: []string{"detector", "state", "det#1 avg", "restore avg", "det#2 avg", "det#2 missing", "storm"},
+	}
+	modes := []struct {
+		name  string
+		fresh bool
+	}{{"fresh", true}, {"persisted", false}}
+	type r1cell struct {
+		det1, restore, det2 qos.DetectionStats
+		storm               int
+	}
+	var jobs []func() (r1cell, error)
+	for _, kind := range AllKinds() {
+		kind := kind
+		for _, mode := range modes {
+			mode := mode
+			for r := 0; r < opts.runs(); r++ {
+				cfg := ClusterConfig{
+					Kind: kind, N: n, F: f,
+					Seed:  opts.seed() + int64(r)*101,
+					Delay: defaultDelay(),
+				}
+				jobs = append(jobs, func() (r1cell, error) {
+					c, err := NewCluster(cfg)
+					if err != nil {
+						return r1cell{}, fmt.Errorf("R1 %v/%s: %w", kind, mode.name, err)
+					}
+					truth := c.Apply(faults.Schedule{}.
+						CrashAt(victim, crash1).
+						RecoverAt(victim, recoverAt, mode.fresh).
+						CrashAt(victim, crash2))
+					c.RunUntil(horizon)
+					opts.record(c.Sim)
+					observers := c.Members.Clone()
+					observers.Remove(victim)
+					return r1cell{
+						det1:    qos.RedetectionTimes(c.Log, truth, victim, observers, 0),
+						restore: qos.TrustRestorationTimes(c.Log, truth, victim, observers, 0),
+						det2:    qos.RedetectionTimes(c.Log, truth, victim, observers, 1),
+						storm:   qos.MistakeStorm(c.Log, truth, c.Members, recoverAt, crash2),
+					}, nil
+				})
+			}
+		}
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, kind := range AllKinds() {
+		for _, mode := range modes {
+			var det1, restore, det2 []qos.DetectionStats
+			storm := 0
+			for r := 0; r < opts.runs(); r++ {
+				cell := cells[k]
+				k++
+				det1 = append(det1, cell.det1)
+				restore = append(restore, cell.restore)
+				det2 = append(det2, cell.det2)
+				storm += cell.storm
+			}
+			d1, rs, d2 := aggregateDetection(det1), aggregateDetection(restore), aggregateDetection(det2)
+			t.AddRow(kind.String(), mode.name,
+				ms(d1.Avg), ms(rs.Avg), ms(d2.Avg),
+				strconv.Itoa(d2.Missing),
+				fmt.Sprintf("%.1f", float64(storm)/float64(opts.runs())))
+		}
+	}
+	return t, nil
+}
+
+// R2PartitionHeal is the partition/heal sweep: a minority island is cut off
+// for a window, then the partition heals. The majority side still reaches
+// the async detector's quorum, so it storms suspicions of the minority just
+// like the timer-based detectors time the minority out; the table reports
+// the storm size, how long after the heal the last wrongful suspicion is
+// corrected, and whether every run re-converged cleanly.
+func R2PartitionHeal(opts Options) (*Table, error) {
+	n, f := 8, 2
+	if opts.Quick {
+		n, f = 6, 2
+	}
+	const (
+		splitAt = 15 * time.Second
+		healAt  = 30 * time.Second
+		horizon = 60 * time.Second
+	)
+	// Minority island: the last max(1, n/4) processes. The majority keeps
+	// ≥ n−f processes, so async quorums still terminate on that side.
+	minority := make([]ident.ID, 0, n/4)
+	for i := n - n/4; i < n; i++ {
+		minority = append(minority, ident.ID(i))
+	}
+	t := &Table{
+		ID:    "R2",
+		Title: "partition/heal: mistake storm and re-convergence per detector",
+		Note: fmt.Sprintf("n=%d, f=%d; %d-process minority island cut off during [15s,30s); "+
+			"storm = false-suspicion episodes beginning in the window; reconverge = settle time after the heal", n, f, len(minority)),
+		Columns: []string{"detector", "storm", "reconverge avg", "reconverge max", "clean runs"},
+	}
+	type r2cell struct {
+		storm  int
+		settle time.Duration
+		clean  bool
+	}
+	var jobs []func() (r2cell, error)
+	for _, kind := range AllKinds() {
+		kind := kind
+		for r := 0; r < opts.runs(); r++ {
+			cfg := ClusterConfig{
+				Kind: kind, N: n, F: f,
+				Seed:  opts.seed() + int64(r)*101,
+				Delay: defaultDelay(),
+				// The minority island cannot reach the quorum while cut off;
+				// rebroadcast lets its stalled queries complete after the
+				// heal instead of blocking forever (the mobility extension's
+				// re-query rule).
+				Rebroadcast: 2 * time.Second,
+			}
+			jobs = append(jobs, func() (r2cell, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return r2cell{}, fmt.Errorf("R2 %v: %w", kind, err)
+				}
+				truth := c.Apply(faults.Schedule{}.
+					PartitionAt(splitAt, minority).
+					HealAt(healAt))
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				settle, clean := qos.Reconvergence(c.Log, truth, c.Members, healAt)
+				return r2cell{
+					storm:  qos.MistakeStorm(c.Log, truth, c.Members, splitAt, healAt),
+					settle: settle,
+					clean:  clean,
+				}, nil
+			})
+		}
+	}
+	cells, err := runJobs(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, kind := range AllKinds() {
+		storm, cleanRuns := 0, 0
+		var settleSum, settleMax time.Duration
+		for r := 0; r < opts.runs(); r++ {
+			cell := cells[k]
+			k++
+			storm += cell.storm
+			settleSum += cell.settle
+			if cell.settle > settleMax {
+				settleMax = cell.settle
+			}
+			if cell.clean {
+				cleanRuns++
+			}
+		}
+		runs := opts.runs()
+		t.AddRow(kind.String(),
+			fmt.Sprintf("%.1f", float64(storm)/float64(runs)),
+			ms(settleSum/time.Duration(runs)), ms(settleMax),
+			fmt.Sprintf("%d/%d", cleanRuns, runs))
+	}
+	return t, nil
+}

@@ -1,6 +1,8 @@
-// Package faults builds crash schedules for simulated runs and applies them
+// Package faults builds fault scenarios for simulated runs and applies them
 // to the network while recording the ground truth the QoS metrics are judged
-// against.
+// against. A scenario is an ordered schedule of typed events: crash-stop (or
+// crash-phase) failures, crash-recovery restarts with fresh or persisted
+// detector state, network partitions into islands, and heals.
 package faults
 
 import (
@@ -14,29 +16,96 @@ import (
 	"asyncfd/internal/qos"
 )
 
-// Crash is one scheduled crash-stop failure.
-type Crash struct {
-	ID ident.ID
-	At time.Duration
+// EventKind enumerates the fault-scenario event types.
+type EventKind int
+
+const (
+	// KindCrash stops a process (crash-stop unless a later Recover revives it).
+	KindCrash EventKind = iota + 1
+	// KindRecover revives a crashed process.
+	KindRecover
+	// KindPartition splits the network into islands.
+	KindPartition
+	// KindHeal removes the most recent partition.
+	KindHeal
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindRecover:
+		return "recover"
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
+	default:
+		return "event?"
+	}
 }
 
-// Plan is an ordered crash schedule.
-type Plan []Crash
+// Event is one scheduled fault-scenario step.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// ID is the affected process (Crash and Recover events).
+	ID ident.ID
+	// FreshState, on a Recover event, makes the process restart its detector
+	// from scratch (volatile state lost in the reboot); false resumes with
+	// the state held at the crash (persisted-state recovery).
+	FreshState bool
+	// Islands, on a Partition event, lists the connectivity islands; see
+	// netsim.Network.Partition for the exact semantics.
+	Islands [][]ident.ID
+}
 
-// CrashAt appends a crash, returning the extended plan.
-func (p Plan) CrashAt(id ident.ID, at time.Duration) Plan {
-	return append(p, Crash{ID: id, At: at})
+// Schedule is an ordered fault scenario. Builders may append events out of
+// time order; Apply sorts them (stably) by time before scheduling.
+type Schedule []Event
+
+// Plan is the historical name of a crash-only Schedule.
+//
+// Deprecated: use Schedule.
+type Plan = Schedule
+
+// CrashAt appends a crash, returning the extended schedule.
+func (s Schedule) CrashAt(id ident.ID, at time.Duration) Schedule {
+	return append(s, Event{At: at, Kind: KindCrash, ID: id})
+}
+
+// RecoverAt appends a recovery of id at time at. fresh selects whether the
+// process restarts with fresh or persisted detector state.
+func (s Schedule) RecoverAt(id ident.ID, at time.Duration, fresh bool) Schedule {
+	return append(s, Event{At: at, Kind: KindRecover, ID: id, FreshState: fresh})
+}
+
+// PartitionAt appends a partition into the given islands at time at.
+// Processes not listed in any island together form one implicit extra
+// island (netsim semantics).
+func (s Schedule) PartitionAt(at time.Duration, islands ...[]ident.ID) Schedule {
+	return append(s, Event{At: at, Kind: KindPartition, Islands: islands})
+}
+
+// HealAt appends a heal of the most recent partition at time at.
+func (s Schedule) HealAt(at time.Duration) Schedule {
+	return append(s, Event{At: at, Kind: KindHeal})
 }
 
 // Uniform schedules count crashes of distinct processes drawn from
 // candidates, spread uniformly over [start, end) — the paper family's
-// "faults uniformly inserted during an experiment" setup.
-func Uniform(r *rand.Rand, candidates []ident.ID, count int, start, end time.Duration) Plan {
+// "faults uniformly inserted during an experiment" setup. A non-positive
+// count or an empty candidate slice yields an empty schedule.
+func Uniform(r *rand.Rand, candidates []ident.ID, count int, start, end time.Duration) Schedule {
+	if count <= 0 || len(candidates) == 0 {
+		return Schedule{}
+	}
 	if count > len(candidates) {
 		count = len(candidates)
 	}
 	perm := r.Perm(len(candidates))
-	plan := make(Plan, 0, count)
+	plan := make(Schedule, 0, count)
 	span := end - start
 	for i := 0; i < count; i++ {
 		at := start
@@ -45,29 +114,58 @@ func Uniform(r *rand.Rand, candidates []ident.ID, count int, start, end time.Dur
 		} else {
 			at += span / 2
 		}
-		plan = append(plan, Crash{ID: candidates[perm[i]], At: at})
+		plan = plan.CrashAt(candidates[perm[i]], at)
 	}
-	sort.Slice(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
 	return plan
 }
 
-// Apply schedules every crash on the simulator against the network and
-// records it in a fresh ground truth.
-func (p Plan) Apply(sim *des.Simulator, net *netsim.Network) *qos.GroundTruth {
+// Apply schedules every event on the simulator against the network and
+// records crashes and recoveries in a fresh ground truth. Recoveries revive
+// the process at the network layer only; cluster layers that must also
+// restart the detector runtime use ApplyFunc.
+func (s Schedule) Apply(sim *des.Simulator, net *netsim.Network) *qos.GroundTruth {
+	return s.ApplyFunc(sim, net, nil)
+}
+
+// ApplyFunc is Apply with a recovery hook: onRecover (when non-nil) runs at
+// each Recover event, after the network has revived the process — the
+// cluster layers use it to restart the process's detector runtime with
+// fresh or persisted state.
+func (s Schedule) ApplyFunc(sim *des.Simulator, net *netsim.Network, onRecover func(id ident.ID, fresh bool)) *qos.GroundTruth {
+	ordered := append(Schedule(nil), s...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
 	truth := &qos.GroundTruth{}
-	for _, c := range p {
-		c := c
-		truth.Crash(c.ID, c.At)
-		sim.At(c.At, func() { net.Crash(c.ID) })
+	for _, e := range ordered {
+		e := e
+		switch e.Kind {
+		case KindCrash:
+			truth.Crash(e.ID, e.At)
+			sim.At(e.At, func() { net.Crash(e.ID) })
+		case KindRecover:
+			truth.Recover(e.ID, e.At)
+			sim.At(e.At, func() {
+				net.Recover(e.ID)
+				if onRecover != nil {
+					onRecover(e.ID, e.FreshState)
+				}
+			})
+		case KindPartition:
+			sim.At(e.At, func() { net.Partition(e.Islands...) })
+		case KindHeal:
+			sim.At(e.At, func() { net.Heal() })
+		}
 	}
 	return truth
 }
 
-// IDs returns the processes that crash under the plan.
-func (p Plan) IDs() ident.Set {
-	var s ident.Set
-	for _, c := range p {
-		s.Add(c.ID)
+// IDs returns the processes that crash under the schedule.
+func (s Schedule) IDs() ident.Set {
+	var out ident.Set
+	for _, e := range s {
+		if e.Kind == KindCrash {
+			out.Add(e.ID)
+		}
 	}
-	return s
+	return out
 }

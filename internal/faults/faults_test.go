@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -11,14 +12,38 @@ import (
 	"asyncfd/internal/node"
 )
 
-func TestPlanCrashAt(t *testing.T) {
+func TestScheduleBuilders(t *testing.T) {
+	s := Schedule{}.
+		CrashAt(1, time.Second).
+		RecoverAt(1, 2*time.Second, true).
+		PartitionAt(3*time.Second, []ident.ID{0, 1}).
+		HealAt(4*time.Second).
+		CrashAt(2, 5*time.Second)
+	if len(s) != 5 {
+		t.Fatalf("len = %d, want 5", len(s))
+	}
+	kinds := []EventKind{KindCrash, KindRecover, KindPartition, KindHeal, KindCrash}
+	for i, k := range kinds {
+		if s[i].Kind != k {
+			t.Errorf("s[%d].Kind = %v, want %v", i, s[i].Kind, k)
+		}
+	}
+	if !s[1].FreshState {
+		t.Error("RecoverAt(fresh=true) lost the flag")
+	}
+	if len(s[2].Islands) != 1 || len(s[2].Islands[0]) != 2 {
+		t.Errorf("partition islands = %v", s[2].Islands)
+	}
+	ids := s.IDs()
+	if !ids.Has(1) || !ids.Has(2) || ids.Len() != 2 {
+		t.Errorf("IDs = %v (recover/partition/heal must not count)", ids)
+	}
+}
+
+func TestPlanAliasStillBuilds(t *testing.T) {
 	p := Plan{}.CrashAt(1, time.Second).CrashAt(2, 2*time.Second)
 	if len(p) != 2 || p[0].ID != 1 || p[1].At != 2*time.Second {
 		t.Errorf("plan = %+v", p)
-	}
-	ids := p.IDs()
-	if !ids.Has(1) || !ids.Has(2) || ids.Len() != 2 {
-		t.Errorf("IDs = %v", ids)
 	}
 }
 
@@ -42,29 +67,60 @@ func TestUniformSpreadsAndDistinct(t *testing.T) {
 	}
 }
 
-func TestUniformCountClamped(t *testing.T) {
-	r := rand.New(rand.NewSource(1))
-	p := Uniform(r, []ident.ID{0, 1}, 5, 0, time.Second)
-	if len(p) != 2 {
-		t.Errorf("len = %d, want clamped to 2", len(p))
+func TestUniformEdgeCases(t *testing.T) {
+	candidates := []ident.ID{0, 1, 2}
+	cases := []struct {
+		name       string
+		candidates []ident.ID
+		count      int
+		wantLen    int
+	}{
+		{"count zero", candidates, 0, 0},
+		{"count negative", candidates, -3, 0},
+		{"empty candidates", nil, 4, 0},
+		{"count above len clamps", []ident.ID{0, 1}, 5, 2},
+		{"single candidate", []ident.ID{7}, 1, 1},
 	}
-}
-
-func TestUniformSingleCrashCentered(t *testing.T) {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			p := Uniform(r, tc.candidates, tc.count, 0, 10*time.Second)
+			if len(p) != tc.wantLen {
+				t.Fatalf("len = %d, want %d", len(p), tc.wantLen)
+			}
+			if p.IDs().Len() != tc.wantLen {
+				t.Errorf("ids not distinct: %v", p.IDs())
+			}
+		})
+	}
+	// A single crash lands mid-span.
 	r := rand.New(rand.NewSource(1))
-	p := Uniform(r, []ident.ID{0, 1, 2}, 1, 10*time.Second, 20*time.Second)
+	p := Uniform(r, candidates, 1, 10*time.Second, 20*time.Second)
 	if len(p) != 1 || p[0].At != 15*time.Second {
 		t.Errorf("plan = %+v, want single crash at 15s", p)
 	}
 }
 
-func TestApply(t *testing.T) {
+func TestUniformDeterministicAcrossIdenticalSeeds(t *testing.T) {
+	candidates := []ident.ID{0, 1, 2, 3, 4, 5}
+	a := Uniform(rand.New(rand.NewSource(42)), candidates, 4, time.Second, 9*time.Second)
+	b := Uniform(rand.New(rand.NewSource(42)), candidates, 4, time.Second, 9*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	c := Uniform(rand.New(rand.NewSource(43)), candidates, 4, time.Second, 9*time.Second)
+	if reflect.DeepEqual(a, c) {
+		t.Log("different seeds produced identical plans (possible but unlikely)")
+	}
+}
+
+func TestApplyCrashStop(t *testing.T) {
 	sim := des.New(1)
 	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{}})
 	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
 	net.AddNode(1, node.HandlerFunc(func(ident.ID, any) {}))
 
-	p := Plan{}.CrashAt(1, 5*time.Second)
+	p := Schedule{}.CrashAt(1, 5*time.Second)
 	truth := p.Apply(sim, net)
 
 	if at, ok := truth.CrashTime(1); !ok || at != 5*time.Second {
@@ -80,5 +136,71 @@ func TestApply(t *testing.T) {
 	}
 	if net.Crashed(0) {
 		t.Error("wrong node crashed")
+	}
+}
+
+func TestApplyRecoverAndHook(t *testing.T) {
+	sim := des.New(1)
+	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{}})
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	net.AddNode(1, node.HandlerFunc(func(ident.ID, any) {}))
+
+	// Appended out of time order on purpose: Apply must sort.
+	s := Schedule{}.
+		RecoverAt(1, 10*time.Second, true).
+		CrashAt(1, 5*time.Second)
+	type call struct {
+		id    ident.ID
+		fresh bool
+		at    time.Duration
+	}
+	var calls []call
+	truth := s.ApplyFunc(sim, net, func(id ident.ID, fresh bool) {
+		if net.Crashed(id) {
+			t.Error("hook ran before the network revived the process")
+		}
+		calls = append(calls, call{id, fresh, sim.Now()})
+	})
+
+	sim.RunUntil(7 * time.Second)
+	if !net.Crashed(1) {
+		t.Error("crash not applied")
+	}
+	sim.RunUntil(11 * time.Second)
+	if net.Crashed(1) {
+		t.Error("recovery not applied")
+	}
+	if len(calls) != 1 || calls[0].id != 1 || !calls[0].fresh || calls[0].at != 10*time.Second {
+		t.Errorf("hook calls = %+v", calls)
+	}
+	ivs := truth.Intervals(1)
+	if len(ivs) != 1 || ivs[0].Start != 5*time.Second || ivs[0].End != 10*time.Second {
+		t.Errorf("intervals = %+v", ivs)
+	}
+}
+
+func TestApplyPartitionHealDrivesNetwork(t *testing.T) {
+	sim := des.New(1)
+	net := netsim.New(sim, netsim.Config{Delay: netsim.Constant{D: time.Microsecond}})
+	var got []ident.ID
+	net.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	net.AddNode(1, node.HandlerFunc(func(from ident.ID, _ any) { got = append(got, from) }))
+	net.AddNode(2, node.HandlerFunc(func(ident.ID, any) {}))
+
+	s := Schedule{}.
+		PartitionAt(time.Second, []ident.ID{0}).
+		HealAt(2 * time.Second)
+	s.Apply(sim, net)
+
+	env := net.Env(0)
+	sim.At(500*time.Millisecond, func() { env.Send(1, "pre") })
+	sim.At(1500*time.Millisecond, func() { env.Send(1, "during") })
+	sim.At(2500*time.Millisecond, func() { env.Send(1, "post") })
+	sim.RunUntil(3 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d messages, want 2 (partition window must drop one)", len(got))
+	}
+	if net.Partitioned() {
+		t.Error("partition still active after heal")
 	}
 }

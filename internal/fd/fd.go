@@ -21,6 +21,18 @@ type Detector interface {
 	IsSuspected(id ident.ID) bool
 }
 
+// Restartable is implemented by detector runtimes that support the
+// crash-recovery fault model: after the network layer has revived a crashed
+// process, Restart brings its detector back to life and resumes its
+// protocol activity. fresh=true discards all volatile detector state (the
+// process rebooted without stable storage); fresh=false resumes with the
+// state held at the crash (persisted-state recovery). Implementations must
+// emit the suspicion transitions implied by a state reset through their
+// sink, so recorded traces stay consistent with the oracle output.
+type Restartable interface {
+	Restart(fresh bool)
+}
+
 // Class names the Chandra–Toueg failure-detector classes relevant here.
 type Class int
 

@@ -76,6 +76,7 @@ type Node struct {
 
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
+var _ fd.Restartable = (*Node)(nil)
 
 // NewNode builds a direct heartbeat detector on env.
 func NewNode(env node.Env, cfg Config) (*Node, error) {
@@ -93,6 +94,37 @@ func NewNode(env node.Env, cfg Config) (*Node, error) {
 func (n *Node) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.cfg.Peers.ForEach(func(p ident.ID) bool {
+		n.armLocked(p)
+		return true
+	})
+	n.tickLocked()
+}
+
+// Restart implements fd.Restartable: after a crash-recovery, the node
+// re-arms every suspicion timeout (the restart counts as the last sighting
+// of every peer, like Start) and resumes heartbeating. With fresh state the
+// reboot lost the suspicion set, so the oracle output transitions every
+// suspected peer back to trusted; with persisted state suspicions survive
+// until the peers' heartbeats clear them.
+func (n *Node) Restart(fresh bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.beat != nil {
+		n.beat.Stop()
+	}
+	for _, t := range n.expiry {
+		t.Stop()
+	}
+	n.stopped = false
+	if fresh {
+		n.suspected.ForEach(func(p ident.ID) bool {
+			n.emitLocked(p, false)
+			return true
+		})
+		n.suspected.Clear()
+		n.seq = 0
+	}
 	n.cfg.Peers.ForEach(func(p ident.ID) bool {
 		n.armLocked(p)
 		return true

@@ -333,3 +333,74 @@ func BenchmarkHeartbeatTick(b *testing.B) {
 		sim.RunUntil(sim.Now() + 100*time.Millisecond)
 	}
 }
+
+func TestRestartFreshClearsSuspicionsAndResumes(t *testing.T) {
+	c := newHBCluster(t, 3, netsim.Constant{D: time.Millisecond}, time.Second, 2*time.Second)
+	// p2 crashes; p0 and p1 suspect it.
+	c.sim.At(5*time.Second, func() { c.net.Crash(2) })
+	c.sim.RunUntil(10 * time.Second)
+	if !c.nodes[0].IsSuspected(2) {
+		t.Fatal("crash not detected")
+	}
+	c.sim.At(12*time.Second, func() {
+		c.net.Recover(2)
+		c.nodes[2].Restart(true)
+	})
+	c.sim.RunUntil(20 * time.Second)
+	if c.nodes[0].IsSuspected(2) || c.nodes[1].IsSuspected(2) {
+		t.Error("restarted process still suspected after its heartbeats resumed")
+	}
+	if n := c.nodes[2].Suspects().Len(); n != 0 {
+		t.Errorf("fresh restart kept %d suspicions", n)
+	}
+}
+
+func TestRestartFreshEmitsRestores(t *testing.T) {
+	// p0 suspects the crashed p1; when p0 itself crash-recovers with fresh
+	// state, its oracle output transitions p1 back to trusted and the trace
+	// must record that restore.
+	c := newHBCluster(t, 3, netsim.Constant{D: time.Millisecond}, time.Second, 2*time.Second)
+	c.sim.At(2*time.Second, func() { c.net.Crash(1) })
+	c.sim.RunUntil(6 * time.Second)
+	if !c.nodes[0].IsSuspected(1) {
+		t.Fatal("p0 does not suspect the crashed p1")
+	}
+	c.sim.At(7*time.Second, func() {
+		c.net.Crash(0)
+		c.net.Recover(0)
+		c.nodes[0].Restart(true)
+	})
+	c.sim.RunUntil(7500 * time.Millisecond)
+	if c.nodes[0].IsSuspected(1) {
+		t.Error("fresh restart kept the suspicion of p1")
+	}
+	found := false
+	for _, e := range c.log.Events() {
+		if e.Observer == 0 && e.Subject == 1 && !e.Suspected && e.At == 7*time.Second {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fresh restart did not emit the restore transition for p1")
+	}
+	// The dead p1 times out again on the restarted monitor.
+	c.sim.RunUntil(12 * time.Second)
+	if !c.nodes[0].IsSuspected(1) {
+		t.Error("restarted monitor never re-detected the dead peer")
+	}
+}
+
+func TestRestartPersistedKeepsSuspicions(t *testing.T) {
+	c := newHBCluster(t, 3, netsim.Constant{D: time.Millisecond}, time.Second, 2*time.Second)
+	c.sim.At(2*time.Second, func() { c.net.Crash(1) })
+	c.sim.RunUntil(6 * time.Second)
+	c.sim.At(7*time.Second, func() {
+		c.net.Crash(0)
+		c.net.Recover(0)
+		c.nodes[0].Restart(false)
+	})
+	c.sim.RunUntil(7100 * time.Millisecond)
+	if !c.nodes[0].IsSuspected(1) {
+		t.Error("persisted restart lost the suspicion of the dead p1")
+	}
+}

@@ -2,8 +2,10 @@
 // discrete-event kernel. Message delays are drawn per message from a
 // pluggable DelayModel, so messages are arbitrarily reordered — exactly the
 // asynchronous model of the paper. Links are reliable by default (the
-// paper's assumption); a drop rate and a link filter are available for the
-// extension experiments (partial connectivity, mobility).
+// paper's assumption); a drop rate, a composable stack of link filters and
+// first-class partitions are available for the extension and fault-scenario
+// experiments (partial connectivity, mobility, partition/heal), and crashed
+// processes can be revived for crash-recovery scenarios.
 package netsim
 
 import (
@@ -35,6 +37,16 @@ type Stats struct {
 	Bytes     int64 // wire bytes sent (only if Config.SizeOf set)
 }
 
+// LinkFilter vetoes transmissions at send time: return false to drop the
+// message. Filters model disconnection, mobility and partitions.
+type LinkFilter func(from, to ident.ID, now time.Duration) bool
+
+// linkFilterEntry is one installed filter with its removal token.
+type linkFilterEntry struct {
+	token int
+	f     LinkFilter
+}
+
 // Network is the simulated medium. All methods must be called from the
 // simulation goroutine (i.e., inside DES events or before the run starts).
 type Network struct {
@@ -45,9 +57,17 @@ type Network struct {
 	// neighbors, when non-nil for an id, restricts that id's broadcasts
 	// and sends to the given set (extension topologies). nil = full mesh.
 	neighbors map[ident.ID]ident.Set
-	// filter, when set, can veto any (from, to) transmission at send time.
-	filter func(from, to ident.ID, now time.Duration) bool
-	stats  Stats
+	// filters is the composable veto stack: a message is admitted only if
+	// every installed filter passes.
+	filters   []linkFilterEntry
+	nextToken int
+	// legacyToken identifies the filter installed through the deprecated
+	// SetLinkFilter, which replaces rather than composes.
+	legacyToken int
+	// partitions holds the tokens of active Partition filters, most recent
+	// last; Heal pops them LIFO.
+	partitions []int
+	stats      Stats
 }
 
 // New builds a network on sim.
@@ -89,11 +109,18 @@ func (n *Network) Nodes() ident.Set {
 	return s
 }
 
-// Crash marks id as crashed: it stops sending, receiving and firing timers,
-// permanently (crash-stop model).
+// Crash marks id as crashed: it stops sending, receiving and firing timers.
+// Without a later Recover this is the crash-stop model; with one it is the
+// crash phase of a crash-recovery fault.
 func (n *Network) Crash(id ident.ID) { n.crashed.Add(id) }
 
-// Crashed reports whether id has crashed.
+// Recover reverses a Crash: id sends, receives and fires newly armed timers
+// again. Timers that came due while the process was down stay suppressed
+// (the callback was dropped at fire time); reviving the process's protocol
+// activity is the detector runtime's job (fd.Restartable).
+func (n *Network) Recover(id ident.ID) { n.crashed.Remove(id) }
+
+// Crashed reports whether id is currently crashed.
 func (n *Network) Crashed(id ident.ID) bool { return n.crashed.Has(id) }
 
 // SetNeighbors restricts id's outgoing traffic to the given set (used by the
@@ -119,11 +146,76 @@ func (n *Network) Neighbors(id ident.ID) ident.Set {
 	return out
 }
 
-// SetLinkFilter installs a transmission veto evaluated at send time. Return
-// false to drop the message. Used to model disconnection and mobility.
-func (n *Network) SetLinkFilter(f func(from, to ident.ID, now time.Duration) bool) {
-	n.filter = f
+// AddLinkFilter pushes f onto the veto stack and returns a token for
+// RemoveLinkFilter. Filters compose: a message is transmitted only if every
+// installed filter passes.
+func (n *Network) AddLinkFilter(f LinkFilter) int {
+	n.nextToken++
+	n.filters = append(n.filters, linkFilterEntry{token: n.nextToken, f: f})
+	return n.nextToken
 }
+
+// RemoveLinkFilter removes the filter identified by token, reporting whether
+// it was installed.
+func (n *Network) RemoveLinkFilter(token int) bool {
+	for i, e := range n.filters {
+		if e.token == token {
+			n.filters = append(n.filters[:i], n.filters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetLinkFilter installs f as the run's single transmission veto, replacing
+// any filter previously installed through SetLinkFilter (nil just removes
+// it). Filters added with AddLinkFilter or Partition are unaffected.
+//
+// Deprecated: use AddLinkFilter/RemoveLinkFilter, which compose instead of
+// overwriting each other.
+func (n *Network) SetLinkFilter(f func(from, to ident.ID, now time.Duration) bool) {
+	if n.legacyToken != 0 {
+		n.RemoveLinkFilter(n.legacyToken)
+		n.legacyToken = 0
+	}
+	if f != nil {
+		n.legacyToken = n.AddLinkFilter(f)
+	}
+}
+
+// Partition splits the cluster into islands: a message is dropped unless its
+// endpoints belong to the same island. Processes not listed in any island
+// together form one implicit extra island, so Partition([]ident.ID{a, b})
+// cuts {a, b} off from everyone else with one call. Partitions stack — a
+// second Partition further constrains the first — and Heal removes the most
+// recent one.
+func (n *Network) Partition(islands ...[]ident.ID) {
+	member := make(map[ident.ID]int)
+	for i, island := range islands {
+		for _, id := range island {
+			member[id] = i + 1 // 0 is the implicit island of unlisted processes
+		}
+	}
+	token := n.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+		return member[from] == member[to]
+	})
+	n.partitions = append(n.partitions, token)
+}
+
+// Heal removes the most recently installed partition, reporting whether one
+// was active.
+func (n *Network) Heal() bool {
+	k := len(n.partitions)
+	if k == 0 {
+		return false
+	}
+	token := n.partitions[k-1]
+	n.partitions = n.partitions[:k-1]
+	return n.RemoveLinkFilter(token)
+}
+
+// Partitioned reports whether any partition is active.
+func (n *Network) Partitioned() bool { return len(n.partitions) > 0 }
 
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -154,9 +246,11 @@ func (n *Network) admit(from, to ident.ID, payload any) (time.Duration, bool) {
 	if n.cfg.SizeOf != nil {
 		n.stats.Bytes += int64(n.cfg.SizeOf(payload))
 	}
-	if n.filter != nil && !n.filter(from, to, now) {
-		n.stats.Dropped++
-		return 0, false
+	for _, e := range n.filters {
+		if !e.f(from, to, now) {
+			n.stats.Dropped++
+			return 0, false
+		}
 	}
 	if n.cfg.DropRate > 0 && n.sim.Rand().Float64() < n.cfg.DropRate {
 		n.stats.Dropped++

@@ -161,6 +161,145 @@ func TestLinkFilter(t *testing.T) {
 	}
 }
 
+func TestAddLinkFiltersCompose(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 3, Constant{})
+	t1 := net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+		return !(from == 0 && to == 1)
+	})
+	t2 := net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+		return !(from == 0 && to == 2)
+	})
+	envs[0].Send(1, "a")
+	envs[0].Send(2, "b")
+	sim.Run()
+	if len(boxes[1].got) != 0 || len(boxes[2].got) != 0 {
+		t.Error("stacked filters did not both apply")
+	}
+	if !net.RemoveLinkFilter(t1) {
+		t.Error("RemoveLinkFilter = false for installed filter")
+	}
+	envs[0].Send(1, "a2")
+	envs[0].Send(2, "b2")
+	sim.Run()
+	if len(boxes[1].got) != 1 {
+		t.Error("link stayed blocked after its filter was removed")
+	}
+	if len(boxes[2].got) != 0 {
+		t.Error("remaining filter stopped applying")
+	}
+	if net.RemoveLinkFilter(t1) {
+		t.Error("RemoveLinkFilter = true for already-removed token")
+	}
+	_ = t2
+}
+
+func TestSetLinkFilterReplacesOnlyItself(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 3, Constant{})
+	net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+		return !(from == 0 && to == 2) // composable filter, must survive
+	})
+	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool { return false })
+	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool { return true }) // replaces the block-all
+	envs[0].Send(1, "a")
+	envs[0].Send(2, "b")
+	sim.Run()
+	if len(boxes[1].got) != 1 {
+		t.Error("second SetLinkFilter did not replace the first")
+	}
+	if len(boxes[2].got) != 0 {
+		t.Error("SetLinkFilter clobbered an AddLinkFilter entry")
+	}
+	net.SetLinkFilter(nil)
+	envs[0].Send(1, "c")
+	sim.Run()
+	if len(boxes[1].got) != 2 {
+		t.Error("SetLinkFilter(nil) did not clear the legacy filter")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 4, Constant{})
+	// Island {0,1}; {2,3} form the implicit rest island.
+	net.Partition([]ident.ID{0, 1})
+	if !net.Partitioned() {
+		t.Error("Partitioned = false with an active partition")
+	}
+	envs[0].Send(1, "same-island")
+	envs[0].Send(2, "cross")
+	envs[2].Send(3, "rest-island")
+	envs[3].Send(1, "cross-back")
+	sim.Run()
+	if len(boxes[1].got) != 1 || len(boxes[3].got) != 1 {
+		t.Error("intra-island traffic blocked")
+	}
+	if len(boxes[2].got) != 0 {
+		t.Error("cross-island traffic delivered")
+	}
+	if !net.Heal() {
+		t.Error("Heal = false with an active partition")
+	}
+	if net.Partitioned() {
+		t.Error("Partitioned = true after heal")
+	}
+	envs[0].Send(2, "healed")
+	sim.Run()
+	if len(boxes[2].got) != 1 {
+		t.Error("traffic still blocked after heal")
+	}
+	if net.Heal() {
+		t.Error("Heal = true with no partition active")
+	}
+}
+
+func TestPartitionsStack(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 4, Constant{})
+	net.Partition([]ident.ID{0, 1})             // {0,1} | {2,3}
+	net.Partition([]ident.ID{0}, []ident.ID{1}) // further splits 0 from 1
+	envs[0].Send(1, "blocked-by-second")
+	sim.Run()
+	if len(boxes[1].got) != 0 {
+		t.Error("nested partition did not apply")
+	}
+	net.Heal() // pops the second partition only
+	envs[0].Send(1, "intra-island-again")
+	envs[0].Send(2, "still-cross")
+	sim.Run()
+	if len(boxes[1].got) != 1 {
+		t.Error("heal did not pop the most recent partition")
+	}
+	if len(boxes[2].got) != 0 {
+		t.Error("outer partition vanished with the inner heal")
+	}
+}
+
+func TestRecoverRevivesProcess(t *testing.T) {
+	sim, net, boxes, envs := newNet(t, 1, 2, Constant{D: time.Millisecond})
+	net.Crash(1)
+	envs[0].Send(1, "while-down")
+	sim.Run()
+	if len(boxes[1].got) != 0 {
+		t.Error("crashed node received a message")
+	}
+	net.Recover(1)
+	if net.Crashed(1) {
+		t.Error("Crashed = true after Recover")
+	}
+	envs[0].Send(1, "after-recovery")
+	envs[1].Send(0, "from-recovered")
+	fired := false
+	envs[1].After(time.Millisecond, func() { fired = true })
+	sim.Run()
+	if len(boxes[1].got) != 1 {
+		t.Error("recovered node did not receive")
+	}
+	if len(boxes[0].got) != 1 {
+		t.Error("recovered node could not send")
+	}
+	if !fired {
+		t.Error("recovered node's timer suppressed")
+	}
+}
+
 func TestNeighborsRestrictBroadcast(t *testing.T) {
 	sim, net, boxes, envs := newNet(t, 1, 4, Constant{})
 	net.SetNeighbors(0, ident.SetOf(1, 2))

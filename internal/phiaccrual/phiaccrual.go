@@ -144,6 +144,7 @@ type Node struct {
 
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
+var _ fd.Restartable = (*Node)(nil)
 
 // NewNode builds a φ-accrual detector on env.
 func NewNode(env node.Env, cfg Config) (*Node, error) {
@@ -171,6 +172,37 @@ func (n *Node) Start() {
 	for _, st := range n.peers {
 		st.last = now
 		st.win.push(n.cfg.Interval.Seconds(), n.cfg.WindowSize)
+	}
+	n.tickLocked()
+	n.scanLocked()
+}
+
+// Restart implements fd.Restartable. Fresh state re-runs the Start
+// bootstrap per peer (window primed with the nominal interval, suspicions
+// lost, with the implied restore transitions emitted); persisted state
+// keeps the windows and suspicion flags. Either way the restart counts as a
+// sighting of every peer: the silence clock restarts at the reboot, and the
+// downtime gap must not enter the inter-arrival window as a sample.
+func (n *Node) Restart(fresh bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.beat != nil {
+		n.beat.Stop()
+	}
+	if n.check != nil {
+		n.check.Stop()
+	}
+	n.stopped = false
+	now := n.env.Now()
+	for p, st := range n.peers {
+		if fresh {
+			if st.suspected {
+				n.emitLocked(p, false)
+			}
+			*st = peerState{}
+			st.win.push(n.cfg.Interval.Seconds(), n.cfg.WindowSize)
+		}
+		st.last = now
 	}
 	n.tickLocked()
 	n.scanLocked()
@@ -264,12 +296,19 @@ func (n *Node) Deliver(from ident.ID, payload any) {
 		return
 	}
 	now := n.env.Now()
-	st.win.push((now - st.last).Seconds(), n.cfg.WindowSize)
-	st.last = now
 	if st.suspected {
+		// The silence that just ended was proven wrong — typically the
+		// peer's downtime. Recording it as an inter-arrival sample would
+		// poison the window (one huge outlier dominates the fitted std for
+		// as long as it stays in the window, stretching detection of the
+		// peer's next crash by orders of magnitude). Restore trust and
+		// restart the silence clock without sampling the gap.
 		st.suspected = false
 		n.emitLocked(from, false)
+	} else {
+		st.win.push((now - st.last).Seconds(), n.cfg.WindowSize)
 	}
+	st.last = now
 }
 
 func (n *Node) emitLocked(subject ident.ID, suspected bool) {

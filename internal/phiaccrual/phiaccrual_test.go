@@ -189,3 +189,57 @@ func TestDeliverIgnoresForeign(t *testing.T) {
 		t.Error("stranger heartbeat created peer state")
 	}
 }
+
+func TestRestartAndRedetectionUnpoisonedWindow(t *testing.T) {
+	// The downtime gap must not enter the observers' inter-arrival windows:
+	// after p1 recovers and crashes again, detection of the second crash
+	// must be about as fast as the first, not stretched by a 10s outlier
+	// sample.
+	c := newCluster(t, 3, netsim.Constant{D: 10 * time.Millisecond}, time.Second)
+	c.sim.At(5*time.Second, func() { c.net.Crash(1) })
+	c.sim.At(15*time.Second, func() {
+		c.net.Recover(1)
+		c.nodes[1].Restart(true)
+	})
+	c.sim.At(25*time.Second, func() { c.net.Crash(1) })
+	c.sim.RunUntil(45 * time.Second)
+	if !c.nodes[0].IsSuspected(1) {
+		t.Fatal("second crash never detected")
+	}
+	var redetect time.Duration
+	for _, e := range c.log.Events() {
+		if e.Observer == 0 && e.Subject == 1 && e.Suspected && e.At >= 25*time.Second {
+			redetect = e.At - 25*time.Second
+			break
+		}
+	}
+	if redetect == 0 {
+		t.Fatal("no re-detection event found")
+	}
+	if redetect > 10*time.Second {
+		t.Errorf("re-detection took %v; the downtime gap poisoned the window", redetect)
+	}
+}
+
+func TestRestartFreshClearsSuspicions(t *testing.T) {
+	c := newCluster(t, 3, netsim.Constant{D: 10 * time.Millisecond}, time.Second)
+	c.sim.At(3*time.Second, func() { c.net.Crash(2) })
+	c.sim.RunUntil(10 * time.Second)
+	if !c.nodes[0].IsSuspected(2) {
+		t.Fatal("crash not detected")
+	}
+	c.sim.At(11*time.Second, func() {
+		c.net.Crash(0)
+		c.net.Recover(0)
+		c.nodes[0].Restart(true)
+	})
+	c.sim.RunUntil(11500 * time.Millisecond)
+	if c.nodes[0].IsSuspected(2) {
+		t.Error("fresh restart kept a suspicion")
+	}
+	// The dead p2 is re-suspected once silence accumulates again.
+	c.sim.RunUntil(30 * time.Second)
+	if !c.nodes[0].IsSuspected(2) {
+		t.Error("restarted monitor never re-detected the dead peer")
+	}
+}

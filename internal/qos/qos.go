@@ -1,8 +1,12 @@
 // Package qos computes quality-of-service metrics of failure detectors from
 // recorded suspicion traces, following the taxonomy of Chen, Toueg and
 // Aguilera: detection time, mistake rate, mistake duration and query
-// accuracy probability. The experiment harness reduces every table of the
-// reconstructed evaluation to these numbers.
+// accuracy probability. Ground truth is interval-based (processes may crash,
+// recover and crash again), which adds the recovery-aware metrics of the
+// crash-recovery QoS literature: re-detection time per downtime, trust
+// restoration after a restart, re-convergence after a heal, and
+// partition-window mistake storms. The experiment harness reduces every
+// table of the reconstructed evaluation to these numbers.
 package qos
 
 import (
@@ -13,43 +17,109 @@ import (
 	"asyncfd/internal/trace"
 )
 
-// GroundTruth is the fault-injection record a trace is judged against.
-// The zero value (no crashes) is ready to use.
+// Interval is one [Start, End) downtime window of a process. End = -1 marks
+// an interval still open at the end of the record (the process never
+// recovered).
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Open reports whether the interval never closes.
+func (iv Interval) Open() bool { return iv.End < 0 }
+
+// Covers reports whether the interval contains time at (Start inclusive,
+// End exclusive).
+func (iv Interval) Covers(at time.Duration) bool {
+	return at >= iv.Start && (iv.Open() || at < iv.End)
+}
+
+// GroundTruth is the fault-injection record a trace is judged against: for
+// every process, the intervals during which it was down. The zero value (no
+// faults) is ready to use. A crash-stop run records one open interval per
+// crashed process; a crash-recovery run closes an interval at each recovery
+// and opens a new one at each later crash. Crash and Recover must be called
+// in non-decreasing time order per process (fault schedules are applied in
+// time order).
 type GroundTruth struct {
-	crashes map[ident.ID]time.Duration
+	downs map[ident.ID][]Interval
 }
 
-// Crash records that id crashed at time at.
+// Crash records that id went down at time at, opening a downtime interval.
+// Crashing a process that is already down is a no-op.
 func (g *GroundTruth) Crash(id ident.ID, at time.Duration) {
-	if g.crashes == nil {
-		g.crashes = make(map[ident.ID]time.Duration)
+	ivs := g.downs[id]
+	if len(ivs) > 0 && ivs[len(ivs)-1].Open() {
+		return
 	}
-	g.crashes[id] = at
+	if g.downs == nil {
+		g.downs = make(map[ident.ID][]Interval)
+	}
+	g.downs[id] = append(ivs, Interval{Start: at, End: -1})
 }
 
-// CrashTime returns when id crashed.
+// Recover records that id came back up at time at, closing its open
+// downtime interval. Recovering a process that is not down is a no-op.
+func (g *GroundTruth) Recover(id ident.ID, at time.Duration) {
+	ivs := g.downs[id]
+	if len(ivs) == 0 || !ivs[len(ivs)-1].Open() {
+		return
+	}
+	ivs[len(ivs)-1].End = at
+}
+
+// CrashTime returns when id first crashed.
 func (g *GroundTruth) CrashTime(id ident.ID) (time.Duration, bool) {
-	t, ok := g.crashes[id]
-	return t, ok
+	ivs := g.downs[id]
+	if len(ivs) == 0 {
+		return 0, false
+	}
+	return ivs[0].Start, true
 }
 
 // Crashed reports whether id ever crashes in this run.
 func (g *GroundTruth) Crashed(id ident.ID) bool {
-	_, ok := g.crashes[id]
-	return ok
+	return len(g.downs[id]) > 0
 }
 
-// CrashedBy reports whether id had crashed at or before time at.
+// DownAt reports whether id is down at time at: some downtime interval
+// covers it (crash instants inclusive, recovery instants exclusive).
+func (g *GroundTruth) DownAt(id ident.ID, at time.Duration) bool {
+	for _, iv := range g.downs[id] {
+		if iv.Covers(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashedBy reports whether id is down at time at. For crash-stop records
+// this is the historical "had crashed at or before at"; with recoveries it
+// is interval-based, so a suspicion of a crashed-and-recovered process is
+// judged against the process's actual state at that time.
 func (g *GroundTruth) CrashedBy(id ident.ID, at time.Duration) bool {
-	t, ok := g.crashes[id]
-	return ok && t <= at
+	return g.DownAt(id, at)
 }
 
-// CrashedSet returns all processes that crash during the run.
+// Intervals returns a copy of id's downtime intervals in time order.
+func (g *GroundTruth) Intervals(id ident.ID) []Interval {
+	ivs := g.downs[id]
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := make([]Interval, len(ivs))
+	copy(out, ivs)
+	return out
+}
+
+// CrashedSet returns the processes currently down at the end of the record
+// (those whose last downtime interval never closed). For crash-stop records
+// this is every process that crashed, as before.
 func (g *GroundTruth) CrashedSet() ident.Set {
 	var s ident.Set
-	for id := range g.crashes {
-		s.Add(id)
+	for id, ivs := range g.downs {
+		if len(ivs) > 0 && ivs[len(ivs)-1].Open() {
+			s.Add(id)
+		}
 	}
 	return s
 }
@@ -176,9 +246,9 @@ func Mistakes(log *trace.Log, truth *GroundTruth, members ident.Set, horizon tim
 					continue // true suspicion
 				}
 				if ep.end == -1 {
-					// Open at the cut: a mistake only if the subject is
-					// still correct (otherwise it became a true detection).
-					if !truth.Crashed(subj) {
+					// Open at the cut: a mistake only if the subject is up
+					// at the cut (otherwise it became a true detection).
+					if !truth.DownAt(subj, horizon) {
 						stats.Unresolved++
 					}
 					continue
@@ -206,7 +276,10 @@ func Mistakes(log *trace.Log, truth *GroundTruth, members ident.Set, horizon tim
 // QueryAccuracy returns P_A: the probability that a random query about a
 // random correct process at a random time in [0, horizon] is answered
 // correctly (not suspected). Computed as 1 − (aggregate wrongful-suspicion
-// time) / (correct-pair count × horizon).
+// time) / (correct-pair count × horizon). Pairs involving a process that
+// crashes at any point are excluded entirely, as in the crash-stop metric
+// definition; accuracy around recoveries is covered by the dedicated
+// recovery metrics (TrustRestorationTimes, Reconvergence, MistakeStorm).
 func QueryAccuracy(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) float64 {
 	if horizon <= 0 {
 		return 1
@@ -250,4 +323,181 @@ func FalseSuspicionSeries(log *trace.Log, truth *GroundTruth, times []time.Durat
 	return log.SuspicionCountSeries(times, func(subject ident.ID) bool {
 		return !truth.Crashed(subject)
 	})
+}
+
+// RedetectionTimes measures detection of the subject's k-th downtime (k is a
+// 0-based index into truth.Intervals(subject)): the time from the crash
+// until each observer's first suspicion episode that begins inside the
+// interval; an episode already open when the crash hit counts as detection
+// time zero. Observers with no such episode count as Missing — for a closed
+// interval that means the crash went unnoticed before the process came back.
+// With k = 0 on a crash-stop record this generalizes DetectionTimes, except
+// that the detecting episode need not be permanent (a recovered process is
+// legitimately un-suspected later).
+func RedetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
+	ivs := truth.Intervals(subject)
+	if k < 0 || k >= len(ivs) {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	iv := ivs[k]
+	events := sortedEvents(log)
+	var stats DetectionStats
+	var total time.Duration
+	first := true
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		det := time.Duration(-1)
+		for _, ep := range episodes(events, obs, subject) {
+			if ep.start <= iv.Start && (ep.end == -1 || ep.end > iv.Start) {
+				det = 0 // suspected since before the crash
+				break
+			}
+			if ep.start >= iv.Start && (iv.Open() || ep.start < iv.End) {
+				det = ep.start - iv.Start
+				break
+			}
+		}
+		if det < 0 {
+			stats.Missing++
+			return true
+		}
+		stats.Count++
+		total += det
+		if first || det < stats.Min {
+			stats.Min = det
+		}
+		if first || det > stats.Max {
+			stats.Max = det
+		}
+		first = false
+		return true
+	})
+	if stats.Count > 0 {
+		stats.Avg = total / time.Duration(stats.Count)
+	}
+	return stats
+}
+
+// TrustRestorationTimes measures, after the subject's k-th downtime ends,
+// how long the observers still suspecting it at the recovery instant take to
+// trust it again: the end of the suspicion episode covering the recovery,
+// minus the recovery time. Observers not suspecting the subject when it
+// recovered are not counted at all; observers whose episode never closes
+// count as Missing (the restarted process was never re-trusted within the
+// horizon). An open k-th interval (no recovery) reports every observer as
+// Missing.
+func TrustRestorationTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
+	ivs := truth.Intervals(subject)
+	if k < 0 || k >= len(ivs) || ivs[k].Open() {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	r := ivs[k].End
+	events := sortedEvents(log)
+	var stats DetectionStats
+	var total time.Duration
+	first := true
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		for _, ep := range episodes(events, obs, subject) {
+			if ep.start > r {
+				break // not suspecting at the recovery instant
+			}
+			if ep.end != -1 && ep.end <= r {
+				continue
+			}
+			// Episode covers r.
+			if ep.end == -1 {
+				stats.Missing++
+				return true
+			}
+			det := ep.end - r
+			stats.Count++
+			total += det
+			if first || det < stats.Min {
+				stats.Min = det
+			}
+			if first || det > stats.Max {
+				stats.Max = det
+			}
+			first = false
+			return true
+		}
+		return true
+	})
+	if stats.Count > 0 {
+		stats.Avg = total / time.Duration(stats.Count)
+	}
+	return stats
+}
+
+// Reconvergence measures the settle time after `from` (typically a heal or a
+// recovery): how long until the last wrongful suspicion among members is
+// corrected, and whether every one of them was (clean). A suspicion episode
+// counts when it is active at `from`, or begins after it while its subject
+// is up; the settle time is the largest episode end minus `from` — zero when
+// nothing was wrongfully suspected from `from` on. Episodes still open at
+// the end of the trace make the result unclean and do not extend the settle
+// time.
+func Reconvergence(log *trace.Log, truth *GroundTruth, members ident.Set, from time.Duration) (settle time.Duration, clean bool) {
+	events := sortedEvents(log)
+	clean = true
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			for _, ep := range episodes(events, obs, subj) {
+				activeAt := ep.start
+				if activeAt < from {
+					if ep.end != -1 && ep.end <= from {
+						continue // over before `from`
+					}
+					activeAt = from
+				}
+				if truth.DownAt(subj, activeAt) {
+					continue // justified suspicion
+				}
+				if ep.end == -1 {
+					clean = false
+					continue
+				}
+				if d := ep.end - from; d > settle {
+					settle = d
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return settle, clean
+}
+
+// MistakeStorm counts the false-suspicion episodes that begin inside
+// [start, end) — the mistake burst a partition window or a restart provokes.
+// An episode is false when its subject is not down at the instant it begins.
+func MistakeStorm(log *trace.Log, truth *GroundTruth, members ident.Set, start, end time.Duration) int {
+	events := sortedEvents(log)
+	storm := 0
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			for _, ep := range episodes(events, obs, subj) {
+				if ep.start < start || ep.start >= end {
+					continue
+				}
+				if !truth.DownAt(subj, ep.start) {
+					storm++
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return storm
 }

@@ -151,6 +151,19 @@ func (c *Cluster) CrashAt(id ident.ID, at time.Duration) {
 	c.Sim.At(at, func() { c.Net.Crash(id) })
 }
 
+// RecoverAt schedules a crash-recovery: the process rejoins the network at
+// time at and restarts its detector with fresh state (the extension's model
+// of a node that reboots knowing only itself) or with the state persisted at
+// the crash.
+func (c *Cluster) RecoverAt(id ident.ID, at time.Duration, fresh bool) {
+	c.Sim.At(at, func() {
+		c.Net.Recover(id)
+		if int(id) < len(c.nodes) {
+			c.nodes[id].Restart(fresh)
+		}
+	})
+}
+
 // setNeighborsNow rewrites id's neighborhood (both directions) immediately.
 func (c *Cluster) setNeighborsNow(id ident.ID, neighbors ident.Set) {
 	old := c.adj[id]

@@ -167,3 +167,35 @@ func TestFCoveringGeneratedTopology(t *testing.T) {
 }
 
 func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestCrashRecoveryOnPartialTopology(t *testing.T) {
+	g := topology.Circulant(10, 2) // d = 5
+	c, err := NewCluster(defaultConfig(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ident.ID(0)
+	c.CrashAt(victim, 3*time.Second)
+	c.RunUntil(10 * time.Second)
+	suspecting := 0
+	for i := 1; i < g.Len(); i++ {
+		if c.Detector(ident.ID(i)).IsSuspected(victim) {
+			suspecting++
+		}
+	}
+	if suspecting == 0 {
+		t.Fatal("crash never detected on the partial topology")
+	}
+	// Fresh restart: the node rejoins knowing only itself, re-learns its
+	// range from received queries, and the network re-trusts it.
+	c.RecoverAt(victim, 12*time.Second, true)
+	c.RunUntil(30 * time.Second)
+	for i := 1; i < g.Len(); i++ {
+		if c.Detector(ident.ID(i)).IsSuspected(victim) {
+			t.Errorf("p%d still suspects the recovered p0", i)
+		}
+	}
+	if got := c.Node(victim).Known(); got.Len() < 2 {
+		t.Errorf("restarted node re-learned only %v", got)
+	}
+}

@@ -7,7 +7,7 @@ import (
 )
 
 // The root bench suite regenerates every table and figure of the
-// reconstructed evaluation (see EXPERIMENTS.md) in quick mode — one
+// reconstructed evaluation (see README.md, "The experiments") in quick mode — one
 // benchmark per experiment, so `go test -bench=. -benchmem` exercises the
 // full harness. Use cmd/fdbench for the full-size sweeps.
 

@@ -1,32 +1,33 @@
 // Command fdbench regenerates every table and figure of the reconstructed
-// evaluation (see DESIGN.md and EXPERIMENTS.md) on the sharded experiment
-// engine, optionally in parallel and with machine-readable benchmark output.
+// evaluation (see the repository README and docs/BENCHMARKS.md) on the
+// sharded experiment engine, optionally in parallel, with many-seed
+// confidence intervals and machine-readable benchmark output.
 //
 // Usage:
 //
-//	fdbench [-exp all|E1|E2|E3|E4|E5|E6|E7|E8|A1|A2|R1|R2|X1|X2] [-quick]
-//	        [-seed N] [-parallel N] [-json FILE]
+//	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5] [-quick]
+//	        [-seed N] [-repeat R] [-parallel N] [-ci] [-json FILE]
 //
-// Besides the paper-family tables (E1–E8), the ablations (A1, A2) and the
-// partial-connectivity extensions (X1, X2), the sweep includes the
-// fault-scenario tables built on the generalized fault subsystem
-// (internal/faults.Schedule):
-//
-//   - R1: crash-recovery — a process crashes, rejoins with fresh or
-//     persisted detector state and crashes again; reports detection,
-//     trust-restoration and re-detection times plus the post-restart
-//     mistake storm, per detector.
-//   - R2: partition/heal — a minority island is cut off for a window and
-//     then healed; reports the partition-window mistake storm and the
-//     re-convergence settle time after the heal, per detector.
+// Row kinds: ids E1–E8 are the reconstructed paper-family tables, A1/A2 the
+// ablations, R1/R2 the fault-scenario sweeps (crash-recovery and
+// partition/heal), X1/X2 the partial-connectivity extensions, and L1/L5 the
+// large-machine-size sweeps (E1's detection time and E5's message cost at
+// n=128/256; quick mode shrinks them to one small size like every other
+// table).
 //
 // -parallel sizes the worker pool experiment cells run on: 1 = serial
 // (default), N > 1 = that many workers, 0 or negative = one worker per CPU.
-// Tables are byte-identical whatever the pool size; only wall-clock time
-// changes.
+// Tables and v2 metric rows are byte-identical whatever the pool size; only
+// wall-clock time changes.
+//
+// -repeat R sets the seed-family size: every replicated cell runs R seeds
+// (base seed plus a fixed per-replicate stride) and tables aggregate across
+// the family. 0 keeps the default family (1 seed in -quick mode, 3
+// otherwise).
 //
 // -json writes a benchmark report to FILE ("-" = stdout, suppressing the
-// tables). Schema "asyncfd-bench/v1":
+// tables). Without -ci the report uses schema "asyncfd-bench/v1",
+// unchanged since PR 1 so committed BENCH files stay comparable:
 //
 //	{
 //	  "schema": "asyncfd-bench/v1",   // schema identifier, bumped on change
@@ -49,15 +50,39 @@
 //	  ]
 //	}
 //
-// Row kinds in "experiments": ids E1–E8 are the reconstructed paper-family
-// tables, A1/A2 the ablations, R1/R2 the fault-scenario sweeps
-// (crash-recovery and partition/heal), and X1/X2 the partial-connectivity
-// extensions. The schema identifier stays asyncfd-bench/v1: rows gained new
-// id values, not new fields, so consumers keyed on the id set remain
-// compatible.
+// -ci bumps the schema to "asyncfd-bench/v2": everything above plus a
+// top-level "repeat" (the resolved seed-family size R) and, on each
+// experiment that records metric samples, a "rows" array of per-cell
+// per-metric distribution summaries over the seed family:
 //
-// Committed BENCH_*.json files at the repo root use this schema to track the
-// engine's throughput trajectory across PRs.
+//	{"id": "E1", "wall_ns": ..., "events": ..., "runs": ...,
+//	 "rows": [
+//	   {"cell": "n=128/async",     // table cell the family belongs to
+//	    "metric": "det_avg_ms",    // metric name; *_ms = milliseconds
+//	    "n": 5,                    // family size (seeds observed)
+//	    "mean": 2012.4,            // sample mean
+//	    "stderr": 14.2,            // standard error of the mean
+//	    "ci95": 39.4,              // Student-t 95% CI half-width:
+//	                               //   mean ± ci95
+//	    "p50": 2008.1, "p99": 2051.0,
+//	    "min": 1980.3, "max": 2052.7},
+//	   ...]}
+//
+// Experiments currently recording samples: E1 (det_avg_ms/det_max_ms per
+// n×detector), E2 (detection, mistake_rate, query_accuracy per f), E4
+// (mistakes, mistake_rate, mistake_dur_ms, query_accuracy per
+// delay-model×detector), E5/L5 (msgs_per_proc_s, bytes_per_proc_s;
+// single-seed families), R1 (det1/restore/det2 and storm per
+// detector×state-mode), R2 (storm, reconverge_ms, clean per detector), and
+// L1 (like E1 at n=128/256). Rows are sorted by cell then metric and are
+// byte-identical at any -parallel value (regression-tested), so v2 reports
+// diff cleanly. A family of R < 2 seeds has stderr = ci95 = 0 — run with
+// -repeat 5 (or more) for meaningful intervals.
+//
+// Committed BENCH_*.json files at the repo root track the engine's
+// trajectory across PRs: BENCH_quick.json (v1, throughput) and
+// BENCH_quick_ci.json (v2 sample, -quick -repeat 5 -ci). See
+// docs/BENCHMARKS.md for the methodology and the full v1→v2 diff.
 package main
 
 import (
@@ -70,13 +95,41 @@ import (
 	"time"
 
 	"asyncfd/internal/exp"
+	"asyncfd/internal/stats"
 )
 
+// metricRow is the JSON form of one asyncfd-bench/v2 distribution row.
+type metricRow struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	CI95   float64 `json:"ci95"`
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func toMetricRows(rows []stats.Row) []metricRow {
+	out := make([]metricRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, metricRow{
+			Cell: r.Cell, Metric: r.Metric, N: r.N,
+			Mean: r.Mean, StdErr: r.StdErr, CI95: r.CI95,
+			P50: r.P50, P99: r.P99, Min: r.Min, Max: r.Max,
+		})
+	}
+	return out
+}
+
 type experimentBench struct {
-	ID     string `json:"id"`
-	WallNS int64  `json:"wall_ns"`
-	Events int64  `json:"events"`
-	Runs   int64  `json:"runs"`
+	ID     string      `json:"id"`
+	WallNS int64       `json:"wall_ns"`
+	Events int64       `json:"events"`
+	Runs   int64       `json:"runs"`
+	Rows   []metricRow `json:"rows,omitempty"` // v2 only
 }
 
 type benchReport struct {
@@ -85,6 +138,7 @@ type benchReport struct {
 	Workers      int               `json:"workers"`
 	Quick        bool              `json:"quick"`
 	Seed         int64             `json:"seed"`
+	Repeat       int               `json:"repeat,omitempty"` // v2 only: resolved seed-family size
 	WallNS       int64             `json:"wall_ns"`
 	Events       int64             `json:"events"`
 	Runs         int64             `json:"runs"`
@@ -103,18 +157,26 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
-	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2) or 'all'")
+	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2, L1, L5) or 'all'")
 	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
 	seed := fs.Int64("seed", 1, "base random seed")
+	repeat := fs.Int("repeat", 0, "seed-family size R per cell (0 = default: 1 with -quick, 3 otherwise)")
 	parallel := fs.Int("parallel", 1, "worker pool size; 0 or negative = one worker per CPU")
-	jsonPath := fs.String("json", "", "write a bench report (schema asyncfd-bench/v1) to this file; '-' = stdout, tables suppressed")
+	ciFlag := fs.Bool("ci", false, "collect per-cell seed-family distributions; bumps the -json schema to asyncfd-bench/v2 (rows with mean/stderr/ci95/p50/p99 per metric)")
+	jsonPath := fs.String("json", "", "write a bench report (schema asyncfd-bench/v1, or v2 with -ci) to this file; '-' = stdout, tables suppressed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel == 0 {
 		*parallel = -1 // 0 and negative both mean GOMAXPROCS
 	}
-	opts := exp.Options{Seed: *seed, Quick: *quickFlag, Parallel: *parallel}
+	if *repeat < 0 {
+		return fmt.Errorf("-repeat must be ≥ 0, got %d", *repeat)
+	}
+	opts := exp.Options{Seed: *seed, Quick: *quickFlag, Parallel: *parallel, Repeat: *repeat}
+	if *ciFlag {
+		opts.Samples = &stats.Collector{}
+	}
 
 	jsonOnly := *jsonPath == "-"
 	report := benchReport{
@@ -123,6 +185,10 @@ func run(args []string) error {
 		Workers:    opts.Workers(),
 		Quick:      *quickFlag,
 		Seed:       *seed,
+	}
+	if *ciFlag {
+		report.Schema = "asyncfd-bench/v2"
+		report.Repeat = opts.Runs()
 	}
 
 	// Everything below is timed before rendering, so wall_ns measures
@@ -145,9 +211,9 @@ func run(args []string) error {
 				continue
 			}
 			found = true
-			stats := &exp.EngineStats{}
+			engineStats := &exp.EngineStats{}
 			eOpts := opts
-			eOpts.Stats = stats
+			eOpts.Stats = engineStats
 			t0 := time.Now()
 			tbl, err := e.Fn(eOpts)
 			if err != nil {
@@ -155,10 +221,14 @@ func run(args []string) error {
 			}
 			wall := time.Since(t0)
 			report.WallNS = wall.Nanoseconds()
-			results = []exp.Result{{
+			r := exp.Result{
 				ID: e.ID, Table: tbl, Wall: wall,
-				Events: stats.Events.Load(), Runs: stats.Runs.Load(),
-			}}
+				Events: engineStats.Events.Load(), Runs: engineStats.Runs.Load(),
+			}
+			if opts.Samples != nil {
+				r.Rows = opts.Samples.Rows()
+			}
+			results = []exp.Result{r}
 			break
 		}
 		if !found {
@@ -172,6 +242,7 @@ func run(args []string) error {
 			WallNS: r.Wall.Nanoseconds(),
 			Events: r.Events,
 			Runs:   r.Runs,
+			Rows:   toMetricRows(r.Rows),
 		})
 		if !jsonOnly {
 			if err := r.Table.Render(os.Stdout); err != nil {

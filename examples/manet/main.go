@@ -6,7 +6,7 @@
 // and refutations.
 //
 // This is NOT part of the reproduced DSN 2003 paper; it is the extension
-// direction its future work points to (INRIA RR-6088). See DESIGN.md.
+// direction its future work points to (INRIA RR-6088). See README.md.
 package main
 
 import (

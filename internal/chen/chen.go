@@ -114,10 +114,18 @@ func (n *Node) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	now := n.env.Now()
-	for p, st := range n.peers {
+	// Sorted peer order, not map order: the bootstrap deadlines coincide,
+	// and same-instant timers fire in insertion order, so map iteration
+	// would leak into the suspicion-event order across same-seed runs.
+	n.cfg.Peers.ForEach(func(p ident.ID) bool {
+		st, ok := n.peers[p]
+		if !ok {
+			return true
+		}
 		st.push(sample{seq: 0, arrival: now}, n.cfg.WindowSize)
 		n.armLocked(p, st)
-	}
+		return true
+	})
 	n.tickLocked()
 }
 
@@ -137,7 +145,14 @@ func (n *Node) Restart(fresh bool) {
 	}
 	n.stopped = false
 	now := n.env.Now()
-	for p, st := range n.peers {
+	// Sorted peer order, not map order: the restores emitted here share a
+	// timestamp and the re-armed deadlines coincide, so map iteration would
+	// make same-seed runs differ byte-for-byte.
+	n.cfg.Peers.ForEach(func(p ident.ID) bool {
+		st, ok := n.peers[p]
+		if !ok {
+			return true
+		}
 		if st.timer != nil {
 			st.timer.Stop()
 		}
@@ -149,7 +164,8 @@ func (n *Node) Restart(fresh bool) {
 			st.push(sample{seq: 0, arrival: now}, n.cfg.WindowSize)
 		}
 		n.armLocked(p, st)
-	}
+		return true
+	})
 	n.tickLocked()
 }
 

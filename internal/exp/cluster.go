@@ -3,6 +3,17 @@
 // regenerates every table and figure of the (reconstructed) evaluation as
 // printable data tables. One function per experiment; cmd/fdbench and the
 // root bench suite call them.
+//
+// The engine is sharded and seed-addressed: every table cell decomposes
+// into independent (configuration, seed, horizon) jobs on a bounded worker
+// pool, assembled in job-index order so parallel output is byte-identical
+// to serial. With Options.Repeat every replicated cell runs as an R-seed
+// family whose per-metric distributions (Options.Samples, aggregated by
+// internal/stats) become the rows of the asyncfd-bench/v2 schema. The
+// repository README ("The experiments", "Determinism") names the table ids
+// — E1–E8 paper family, A1/A2 ablations, R1/R2 fault scenarios, X1/X2
+// partial-connectivity extensions, L1/L5 large-n sweeps — and
+// docs/BENCHMARKS.md documents the replication methodology.
 package exp
 
 import (

@@ -9,6 +9,7 @@ import (
 	"asyncfd/internal/des"
 	"asyncfd/internal/ident"
 	"asyncfd/internal/netsim"
+	"asyncfd/internal/stats"
 	"asyncfd/internal/trace"
 )
 
@@ -166,6 +167,8 @@ func Experiments() []NamedExperiment {
 		{"R2", R2PartitionHeal},
 		{"X1", X1DensityExt},
 		{"X2", X2MobilityExt},
+		{"L1", L1DetectionLargeN},
+		{"L5", L5MessageCostLargeN},
 	}
 }
 
@@ -185,6 +188,11 @@ type Result struct {
 	Wall   time.Duration
 	Events int64 // DES events this experiment executed
 	Runs   int64 // simulation kernels this experiment completed
+	// Rows holds the experiment's aggregated seed-family metric
+	// distributions; non-nil only when the run collects samples
+	// (Options.Samples set) and the experiment records them. cmd/fdbench
+	// serializes these as the asyncfd-bench/v2 rows.
+	Rows []stats.Row
 }
 
 // All runs every experiment in the reconstructed evaluation, in order. With
@@ -210,10 +218,24 @@ func All(opts Options) ([]*Table, error) {
 func AllResults(opts Options) ([]Result, error) {
 	entries := Experiments()
 	results := make([]Result, len(entries))
+	// Each experiment collects into a private collector so its aggregated
+	// rows land on its own Result entry; the caller's collector receives
+	// every sample afterwards, merged in presentation order so its Rows()
+	// stay deterministic at any worker count.
+	var cols []*stats.Collector
+	if opts.Samples != nil {
+		cols = make([]*stats.Collector, len(entries))
+		for i := range cols {
+			cols[i] = &stats.Collector{}
+		}
+	}
 	runOne := func(i int, e NamedExperiment) error {
-		stats := &EngineStats{}
+		eng := &EngineStats{}
 		eOpts := opts
-		eOpts.Stats = stats
+		eOpts.Stats = eng
+		if cols != nil {
+			eOpts.Samples = cols[i]
+		}
 		t0 := time.Now()
 		tbl, err := e.Fn(eOpts)
 		if err != nil {
@@ -223,8 +245,11 @@ func AllResults(opts Options) ([]Result, error) {
 			ID:     e.ID,
 			Table:  tbl,
 			Wall:   time.Since(t0),
-			Events: stats.Events.Load(),
-			Runs:   stats.Runs.Load(),
+			Events: eng.Events.Load(),
+			Runs:   eng.Runs.Load(),
+		}
+		if cols != nil {
+			results[i].Rows = cols[i].Rows()
 		}
 		if opts.Stats != nil {
 			opts.Stats.Events.Add(results[i].Events)
@@ -232,11 +257,21 @@ func AllResults(opts Options) ([]Result, error) {
 		}
 		return nil
 	}
+	// mergeSamples forwards every experiment's samples to the caller's
+	// collector, in presentation order.
+	mergeSamples := func() {
+		for _, col := range cols {
+			opts.Samples.AddSamples(col.Samples())
+		}
+	}
 	if opts.Workers() <= 1 {
 		for i, e := range entries {
 			if err := runOne(i, e); err != nil {
 				return nil, err
 			}
+		}
+		if cols != nil {
+			mergeSamples()
 		}
 		return results, nil
 	}
@@ -261,6 +296,9 @@ func AllResults(opts Options) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cols != nil {
+		mergeSamples()
 	}
 	return results, nil
 }

@@ -11,6 +11,7 @@ import (
 	"asyncfd/internal/ident"
 	"asyncfd/internal/netsim"
 	"asyncfd/internal/qos"
+	"asyncfd/internal/stats"
 )
 
 // Options tunes an experiment run.
@@ -24,9 +25,23 @@ type Options struct {
 	// serial, n > 1 = that many workers, negative = one worker per CPU
 	// (runtime.GOMAXPROCS). Tables are byte-identical whatever the value.
 	Parallel int
+	// Repeat overrides the per-cell seed-family size R: every replicated
+	// cell runs Repeat seeds (base seed plus a per-replicate stride) and
+	// the table aggregates across the family. 0 keeps the historical
+	// default (1 in Quick mode, 3 otherwise). Seed-family replication is
+	// what turns single-run point estimates into the confidence intervals
+	// of the asyncfd-bench/v2 rows; see docs/BENCHMARKS.md.
+	Repeat int
 	// Stats, when non-nil, accumulates kernel throughput counters across
 	// every simulation the run executes.
 	Stats *EngineStats
+	// Samples, when non-nil, collects per-cell per-replicate metric
+	// observations (detection times, mistake rates, …) that aggregate
+	// into the distribution rows of the asyncfd-bench/v2 schema.
+	// Collection is deterministic at any Parallel value: experiments
+	// record samples from their ordered aggregation loops, never from
+	// concurrently executing jobs.
+	Samples *stats.Collector
 
 	// gate, when non-nil, is the run-wide concurrency bound shared by every
 	// runJobs call (installed by All so experiment-level and cell-level
@@ -42,10 +57,32 @@ func (o Options) seed() int64 {
 }
 
 func (o Options) runs() int {
+	if o.Repeat > 0 {
+		return o.Repeat
+	}
 	if o.Quick {
 		return 1
 	}
 	return 3
+}
+
+// Runs reports the resolved per-cell seed-family size R (Repeat when set,
+// else 1 in Quick mode and 3 otherwise). cmd/fdbench records it in the v2
+// bench report.
+func (o Options) Runs() int { return o.runs() }
+
+// sample records one seed-family observation when a collector is attached.
+func (o Options) sample(cell, metric string, rep int, v float64) {
+	if o.Samples != nil {
+		o.Samples.Add(cell, metric, rep, v)
+	}
+}
+
+// sampleDetection records a DetectionStats observation's average and
+// maximum under prefix ("det" → "det_avg_ms", "det_max_ms").
+func (o Options) sampleDetection(cell, prefix string, rep int, s qos.DetectionStats) {
+	o.sample(cell, prefix+"_avg_ms", rep, qos.Millis(s.Avg))
+	o.sample(cell, prefix+"_max_ms", rep, qos.Millis(s.Max))
 }
 
 // defaultDelay is the nominal asynchronous network: ~1ms one-hop average
@@ -93,33 +130,32 @@ func aggregateDetection(stats []qos.DetectionStats) qos.DetectionStats {
 	return out
 }
 
-// E1DetectionVsN reproduces the headline comparison: failure detection time
-// versus system size for the time-free detector and the three timer-based
-// baselines. Expected shape: the time-free detector detects in roughly one
-// query period (Δ + δ) independent of n, while the fixed-timeout heartbeat
-// sits between Θ−Δ and Θ and the adaptive baselines near Δ + margin.
-func E1DetectionVsN(opts Options) (*Table, error) {
-	t := &Table{
-		ID:    "E1",
-		Title: "failure detection time vs system size n (avg/max over observers)",
-		Note:  "crash of one process at t=10.4s (mid heartbeat period); Δ=1s, Θ=2s; reconstructed experiment",
-		Columns: []string{"n", "f",
-			"async avg", "async max",
-			"hb avg", "hb max",
-			"phi avg", "phi max",
-			"chen avg", "chen max"},
+// boundedF is the default crash bound of the n-sweeps: ⌊(n−1)/3⌋, at
+// least 1.
+func boundedF(n int) int {
+	f := (n - 1) / 3
+	if f < 1 {
+		f = 1
 	}
-	ns := []int{4, 8, 16, 32, 64}
-	if opts.Quick {
-		ns = []int{4, 8}
-	}
+	return f
+}
+
+// detectionColumns is the column set of the detection-time-vs-n sweeps.
+var detectionColumns = []string{"n", "f",
+	"async avg", "async max",
+	"hb avg", "hb max",
+	"phi avg", "phi max",
+	"chen avg", "chen max"}
+
+// detectionVsNTable fills t with the detection-time-vs-n sweep shared by
+// E1 and its large-n variant L1: for every n, one process crashes
+// mid-heartbeat-period and every detector kind's R-seed family measures
+// detection stats, sampled per cell into the v2 rows.
+func detectionVsNTable(opts Options, t *Table, ns []int) (*Table, error) {
 	var jobs []func() (qos.DetectionStats, error)
 	for _, n := range ns {
 		n := n
-		f := (n - 1) / 3
-		if f < 1 {
-			f = 1
-		}
+		f := boundedF(n)
 		for _, kind := range AllKinds() {
 			kind := kind
 			for r := 0; r < opts.runs(); r++ {
@@ -131,7 +167,7 @@ func E1DetectionVsN(opts Options) (*Table, error) {
 				jobs = append(jobs, func() (qos.DetectionStats, error) {
 					s, _, err := detectionRun(opts, cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
 					if err != nil {
-						return qos.DetectionStats{}, fmt.Errorf("E1 %v n=%d: %w", kind, n, err)
+						return qos.DetectionStats{}, fmt.Errorf("%s %v n=%d: %w", t.ID, kind, n, err)
 					}
 					return s, nil
 				})
@@ -144,12 +180,12 @@ func E1DetectionVsN(opts Options) (*Table, error) {
 	}
 	k := 0
 	for _, n := range ns {
-		f := (n - 1) / 3
-		if f < 1 {
-			f = 1
-		}
-		row := []string{strconv.Itoa(n), strconv.Itoa(f)}
-		for range AllKinds() {
+		row := []string{strconv.Itoa(n), strconv.Itoa(boundedF(n))}
+		for _, kind := range AllKinds() {
+			cell := fmt.Sprintf("n=%d/%s", n, kind)
+			for r := 0; r < opts.runs(); r++ {
+				opts.sampleDetection(cell, "det", r, stats[k+r])
+			}
 			agg := aggregateDetection(stats[k : k+opts.runs()])
 			k += opts.runs()
 			row = append(row, ms(agg.Avg), ms(agg.Max))
@@ -157,6 +193,25 @@ func E1DetectionVsN(opts Options) (*Table, error) {
 		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// E1DetectionVsN reproduces the headline comparison: failure detection time
+// versus system size for the time-free detector and the three timer-based
+// baselines. Expected shape: the time-free detector detects in roughly one
+// query period (Δ + δ) independent of n, while the fixed-timeout heartbeat
+// sits between Θ−Δ and Θ and the adaptive baselines near Δ + margin.
+func E1DetectionVsN(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "failure detection time vs system size n (avg/max over observers)",
+		Note:    "crash of one process at t=10.4s (mid heartbeat period); Δ=1s, Θ=2s; reconstructed experiment",
+		Columns: detectionColumns,
+	}
+	ns := []int{4, 8, 16, 32, 64}
+	if opts.Quick {
+		ns = []int{4, 8}
+	}
+	return detectionVsNTable(opts, t, ns)
 }
 
 // E2DetectionVsF sweeps the crash bound f for the time-free detector with no
@@ -219,6 +274,7 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 	}
 	k := 0
 	for _, f := range fs {
+		cell := fmt.Sprintf("f=%d", f)
 		var stats []qos.DetectionStats
 		var rate, pa float64
 		for r := 0; r < opts.runs(); r++ {
@@ -227,6 +283,9 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 			stats = append(stats, res.stats)
 			rate += res.rate
 			pa += res.pa
+			opts.sampleDetection(cell, "det", r, res.stats)
+			opts.sample(cell, "mistake_rate", r, res.rate)
+			opts.sample(cell, "query_accuracy", r, res.pa)
 		}
 		agg := aggregateDetection(stats)
 		runs := float64(opts.runs())
@@ -312,7 +371,7 @@ func E4QoS(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   "QoS under delay-distribution sweep (no crashes: all suspicions are mistakes)",
-		Note:    "n=10, f=3; λM = mistakes per pair per second, TM = mean mistake duration, PA = query accuracy",
+		Note:    "n=10, f=3; λM = mistakes per pair per second, TM = mean mistake duration, PA = query accuracy; cell values are seed-family means",
 		Columns: []string{"delay model", "detector", "mistakes", "λM", "TM", "PA"},
 	}
 	models := []struct {
@@ -332,24 +391,26 @@ func E4QoS(opts Options) (*Table, error) {
 	for _, m := range models {
 		for _, kind := range AllKinds() {
 			kind := kind
-			cfg := ClusterConfig{
-				Kind: kind, N: 10, F: 3,
-				Seed:  opts.seed(),
-				Delay: m.model,
-			}
-			jobs = append(jobs, func() (e4cell, error) {
-				c, err := NewCluster(cfg)
-				if err != nil {
-					return e4cell{}, fmt.Errorf("E4 %v: %w", kind, err)
+			for r := 0; r < opts.runs(); r++ {
+				cfg := ClusterConfig{
+					Kind: kind, N: 10, F: 3,
+					Seed:  opts.seed() + int64(r)*101,
+					Delay: m.model,
 				}
-				c.RunUntil(horizon)
-				opts.record(c.Sim)
-				truth := &qos.GroundTruth{}
-				return e4cell{
-					mist: qos.Mistakes(c.Log, truth, c.Members, horizon),
-					pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
-				}, nil
-			})
+				jobs = append(jobs, func() (e4cell, error) {
+					c, err := NewCluster(cfg)
+					if err != nil {
+						return e4cell{}, fmt.Errorf("E4 %v: %w", kind, err)
+					}
+					c.RunUntil(horizon)
+					opts.record(c.Sim)
+					truth := &qos.GroundTruth{}
+					return e4cell{
+						mist: qos.Mistakes(c.Log, truth, c.Members, horizon),
+						pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+					}, nil
+				})
+			}
 		}
 	}
 	cells, err := runJobs(opts, jobs)
@@ -359,54 +420,54 @@ func E4QoS(opts Options) (*Table, error) {
 	k := 0
 	for _, m := range models {
 		for _, kind := range AllKinds() {
-			cell := cells[k]
-			k++
+			cellKey := fmt.Sprintf("%s/%s", m.name, kind)
+			var count, rate, dur, pa float64
+			for r := 0; r < opts.runs(); r++ {
+				cell := cells[k]
+				k++
+				count += float64(cell.mist.Count)
+				rate += cell.mist.Rate
+				dur += qos.Millis(cell.mist.AvgDuration)
+				pa += cell.pa
+				opts.sample(cellKey, "mistakes", r, float64(cell.mist.Count))
+				opts.sample(cellKey, "mistake_rate", r, cell.mist.Rate)
+				opts.sample(cellKey, "mistake_dur_ms", r, qos.Millis(cell.mist.AvgDuration))
+				opts.sample(cellKey, "query_accuracy", r, cell.pa)
+			}
+			runs := float64(opts.runs())
 			t.AddRow(m.name, kind.String(),
-				strconv.Itoa(cell.mist.Count),
-				fmt.Sprintf("%.5f", cell.mist.Rate),
-				ms(cell.mist.AvgDuration),
-				f3(cell.pa))
+				fmt.Sprintf("%.1f", count/runs),
+				fmt.Sprintf("%.5f", rate/runs),
+				fmt.Sprintf("%.1fms", dur/runs),
+				f3(pa/runs))
 		}
 	}
 	return t, nil
 }
 
-// E5MessageCost counts traffic: the query–response scheme costs two messages
-// per monitored pair per round (query out, response back, both directions of
-// the pair), versus one per pair per Δ for heartbeats — but query messages
-// carry the suspicion state and are therefore larger.
-func E5MessageCost(opts Options) (*Table, error) {
+// messageCostTable fills t with the traffic count shared by E5 and its
+// large-n variant L5: messages and wire bytes per process per second on a
+// stable network, one seed per cell (traffic is delay-schedule-stable), so
+// the v2 rows carry single-sample families.
+func messageCostTable(opts Options, t *Table, ns []int) (*Table, error) {
 	horizon := 30 * time.Second
 	if opts.Quick {
 		horizon = 10 * time.Second
-	}
-	t := &Table{
-		ID:      "E5",
-		Title:   "message cost per process per second vs n",
-		Note:    "stable network, no crashes; bytes measured with the wire codec",
-		Columns: []string{"n", "detector", "msgs/proc/s", "bytes/proc/s"},
-	}
-	ns := []int{4, 8, 16, 32}
-	if opts.Quick {
-		ns = []int{4, 8}
 	}
 	var jobs []func() (netsim.Stats, error)
 	for _, n := range ns {
 		for _, kind := range AllKinds() {
 			kind := kind
 			cfg := ClusterConfig{
-				Kind: kind, N: n, F: (n - 1) / 3,
+				Kind: kind, N: n, F: boundedF(n),
 				Seed:       opts.seed(),
 				Delay:      defaultDelay(),
 				CountBytes: true,
 			}
-			if cfg.F < 1 {
-				cfg.F = 1
-			}
 			jobs = append(jobs, func() (netsim.Stats, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return netsim.Stats{}, fmt.Errorf("E5 %v: %w", kind, err)
+					return netsim.Stats{}, fmt.Errorf("%s %v: %w", t.ID, kind, err)
 				}
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
@@ -424,12 +485,35 @@ func E5MessageCost(opts Options) (*Table, error) {
 		for _, kind := range AllKinds() {
 			st := cells[k]
 			k++
+			msgs := float64(st.Sent) / float64(n) / secs
+			bytes := float64(st.Bytes) / float64(n) / secs
+			cell := fmt.Sprintf("n=%d/%s", n, kind)
+			opts.sample(cell, "msgs_per_proc_s", 0, msgs)
+			opts.sample(cell, "bytes_per_proc_s", 0, bytes)
 			t.AddRow(strconv.Itoa(n), kind.String(),
-				fmt.Sprintf("%.1f", float64(st.Sent)/float64(n)/secs),
-				fmt.Sprintf("%.0f", float64(st.Bytes)/float64(n)/secs))
+				fmt.Sprintf("%.1f", msgs),
+				fmt.Sprintf("%.0f", bytes))
 		}
 	}
 	return t, nil
+}
+
+// E5MessageCost counts traffic: the query–response scheme costs two messages
+// per monitored pair per round (query out, response back, both directions of
+// the pair), versus one per pair per Δ for heartbeats — but query messages
+// carry the suspicion state and are therefore larger.
+func E5MessageCost(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "message cost per process per second vs n",
+		Note:    "stable network, no crashes; bytes measured with the wire codec",
+		Columns: []string{"n", "detector", "msgs/proc/s", "bytes/proc/s"},
+	}
+	ns := []int{4, 8, 16, 32}
+	if opts.Quick {
+		ns = []int{4, 8}
+	}
+	return messageCostTable(opts, t, ns)
 }
 
 // E6MPSensitivity probes the paper's behavioral assumption: with the pure

@@ -193,7 +193,7 @@ func X2MobilityExt(opts Options) (*Table, error) {
 			}
 			// Equivalent move for the gossip cluster via a link filter window.
 			moving := false
-			gc.net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+			gc.net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
 				if moving && (from == 0 || to == 0) {
 					return false
 				}

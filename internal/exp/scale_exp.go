@@ -1,0 +1,54 @@
+package exp
+
+// scale_exp.go holds the large-machine-size sweeps (the "L" tables): the
+// same detection-time and message-cost measurements as E1/E5 — they share
+// the sweep bodies (detectionVsNTable, messageCostTable) — pushed to n=128
+// and n=256 processes. They exist because the partial-connectivity
+// follow-up literature evaluates at much larger system sizes than the DSN
+// 2003 paper's n ≤ 64, and because at these sizes the asynchronous
+// detector's flat detection time (≈ one query period, independent of n)
+// separates visibly from the n-dependent traffic cost. Like every other
+// table they decompose into seed-addressed jobs on the shared runner, so
+// parallel output is byte-identical to serial — which matters here, since
+// these are the sweeps one actually wants a big -parallel value for. In
+// Quick mode both shrink to a single small size so tests and quick benches
+// stay cheap; the n=128/256 cells are non-quick only.
+
+// largeNs returns the sweep's machine sizes: 128/256 full-size, one small
+// size in Quick mode.
+func largeNs(opts Options) []int {
+	if opts.Quick {
+		return []int{24}
+	}
+	return []int{128, 256}
+}
+
+// L1DetectionLargeN extends E1's headline sweep to n=128/256: failure
+// detection time per detector at large machine sizes, aggregated over the
+// seed family. The time-free detector should stay near one query period
+// while the timer-based baselines keep their Θ-bound latency — the
+// interesting question at this scale is the spread, which is why the cells
+// feed the v2 distribution rows.
+func L1DetectionLargeN(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "L1",
+		Title:   "LARGE-N: failure detection time vs system size n (avg/max over observers)",
+		Note:    "E1 at n=128/256 (quick: one small size); crash of one process at t=10.4s; Δ=1s, Θ=2s",
+		Columns: detectionColumns,
+	}
+	return detectionVsNTable(opts, t, largeNs(opts))
+}
+
+// L5MessageCostLargeN extends E5's traffic count to n=128/256: messages and
+// wire bytes per process per second. The query–response scheme's quadratic
+// aggregate traffic is the price of its time-freedom; at n=256 the per-row
+// numbers make the scaling argument concrete.
+func L5MessageCostLargeN(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "L5",
+		Title:   "LARGE-N: message cost per process per second vs n",
+		Note:    "E5 at n=128/256 (quick: one small size); stable network, no crashes; bytes measured with the wire codec",
+		Columns: []string{"n", "detector", "msgs/proc/s", "bytes/proc/s"},
+	}
+	return messageCostTable(opts, t, largeNs(opts))
+}

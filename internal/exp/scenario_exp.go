@@ -90,6 +90,7 @@ func R1CrashRecovery(opts Options) (*Table, error) {
 	k := 0
 	for _, kind := range AllKinds() {
 		for _, mode := range modes {
+			cellKey := fmt.Sprintf("%s/%s", kind, mode.name)
 			var det1, restore, det2 []qos.DetectionStats
 			storm := 0
 			for r := 0; r < opts.runs(); r++ {
@@ -99,6 +100,10 @@ func R1CrashRecovery(opts Options) (*Table, error) {
 				restore = append(restore, cell.restore)
 				det2 = append(det2, cell.det2)
 				storm += cell.storm
+				opts.sampleDetection(cellKey, "det1", r, cell.det1)
+				opts.sampleDetection(cellKey, "restore", r, cell.restore)
+				opts.sampleDetection(cellKey, "det2", r, cell.det2)
+				opts.sample(cellKey, "storm", r, float64(cell.storm))
 			}
 			d1, rs, d2 := aggregateDetection(det1), aggregateDetection(restore), aggregateDetection(det2)
 			t.AddRow(kind.String(), mode.name,
@@ -183,6 +188,7 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 	}
 	k := 0
 	for _, kind := range AllKinds() {
+		cellKey := kind.String()
 		storm, cleanRuns := 0, 0
 		var settleSum, settleMax time.Duration
 		for r := 0; r < opts.runs(); r++ {
@@ -196,6 +202,13 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 			if cell.clean {
 				cleanRuns++
 			}
+			opts.sample(cellKey, "storm", r, float64(cell.storm))
+			opts.sample(cellKey, "reconverge_ms", r, qos.Millis(cell.settle))
+			clean := 0.0
+			if cell.clean {
+				clean = 1
+			}
+			opts.sample(cellKey, "clean", r, clean)
 		}
 		runs := opts.runs()
 		t.AddRow(kind.String(),

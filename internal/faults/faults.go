@@ -3,6 +3,12 @@
 // against. A scenario is an ordered schedule of typed events: crash-stop (or
 // crash-phase) failures, crash-recovery restarts with fresh or persisted
 // detector state, network partitions into islands, and heals.
+//
+// In the terminology of the repository README's architecture map, this is
+// the fault-injection layer between the network model (internal/netsim,
+// which executes the events) and the QoS judge (internal/qos, whose
+// GroundTruth this package populates). The R1/R2 sweeps of internal/exp
+// and the cmd/fdsim scenario flags are thin wrappers over a Schedule.
 package faults
 
 import (
@@ -67,7 +73,9 @@ type Schedule []Event
 
 // Plan is the historical name of a crash-only Schedule.
 //
-// Deprecated: use Schedule.
+// Deprecated: use Schedule. Every in-repo caller has been migrated; the
+// alias remains for compatibility and is exercised only by its own
+// regression tests.
 type Plan = Schedule
 
 // CrashAt appends a crash, returning the extended schedule.

@@ -268,7 +268,7 @@ func TestGossipRestore(t *testing.T) {
 	// then restored once reconnected.
 	sim, net, nodes, _ := lineTopology(t, 5, 500*time.Millisecond, 3*time.Second)
 	blocked := false
-	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+	net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
 		if blocked && (from == 4 || to == 4) {
 			return false
 		}

@@ -6,6 +6,13 @@
 // first-class partitions are available for the extension and fault-scenario
 // experiments (partial connectivity, mobility, partition/heal), and crashed
 // processes can be revived for crash-recovery scenarios.
+//
+// In the repository README's architecture map this is the "asynchronous
+// network model" layer: internal/faults schedules Crash/Recover/Partition/
+// Heal events against it, and every internal/exp cluster sends through it.
+// Scenario-driven connectivity changes should use the composable
+// AddLinkFilter/RemoveLinkFilter stack or the first-class Partition/Heal;
+// SetLinkFilter is the deprecated single-slot predecessor.
 package netsim
 
 import (
@@ -172,7 +179,9 @@ func (n *Network) RemoveLinkFilter(token int) bool {
 // it). Filters added with AddLinkFilter or Partition are unaffected.
 //
 // Deprecated: use AddLinkFilter/RemoveLinkFilter, which compose instead of
-// overwriting each other.
+// overwriting each other. Every in-repo caller has been migrated; the
+// method remains for compatibility and is exercised only by its own
+// regression tests.
 func (n *Network) SetLinkFilter(f func(from, to ident.ID, now time.Duration) bool) {
 	if n.legacyToken != 0 {
 		n.RemoveLinkFilter(n.legacyToken)

@@ -194,7 +194,14 @@ func (n *Node) Restart(fresh bool) {
 	}
 	n.stopped = false
 	now := n.env.Now()
-	for p, st := range n.peers {
+	// Sorted peer order, not map order: the restore events emitted here
+	// all carry the same timestamp, and runs of one seed must produce
+	// identical trace bytes.
+	n.cfg.Peers.ForEach(func(p ident.ID) bool {
+		st, ok := n.peers[p]
+		if !ok {
+			return true
+		}
 		if fresh {
 			if st.suspected {
 				n.emitLocked(p, false)
@@ -203,7 +210,8 @@ func (n *Node) Restart(fresh bool) {
 			st.win.push(n.cfg.Interval.Seconds(), n.cfg.WindowSize)
 		}
 		st.last = now
-	}
+		return true
+	})
 	n.tickLocked()
 	n.scanLocked()
 }
@@ -239,7 +247,13 @@ func (n *Node) scanLocked() {
 		return
 	}
 	now := n.env.Now()
-	for p, st := range n.peers {
+	// Sorted peer order, not map order: one scan instant can suspect
+	// several peers, and same-seed runs must emit them in identical order.
+	n.cfg.Peers.ForEach(func(p ident.ID) bool {
+		st, ok := n.peers[p]
+		if !ok {
+			return true
+		}
 		phi := n.phiLocked(st, now)
 		if phi >= n.cfg.Threshold && !st.suspected {
 			st.suspected = true
@@ -247,7 +261,8 @@ func (n *Node) scanLocked() {
 		}
 		// Restoration happens on heartbeat arrival, not here: φ only grows
 		// with silence.
-	}
+		return true
+	})
 	n.check = n.env.After(n.cfg.CheckInterval, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()

@@ -7,6 +7,13 @@
 // restoration after a restart, re-convergence after a heal, and
 // partition-window mistake storms. The experiment harness reduces every
 // table of the reconstructed evaluation to these numbers.
+//
+// These are the per-run scalar metrics; across an R-seed family
+// (internal/exp Options.Repeat) they become the sampled distributions —
+// mean/stderr/ci95/percentiles — of the asyncfd-bench/v2 rows described
+// in the repository README ("Reading BENCH_*.json") and
+// docs/BENCHMARKS.md. Duration-valued metrics enter those rows in
+// milliseconds via Millis.
 package qos
 
 import (
@@ -16,6 +23,11 @@ import (
 	"asyncfd/internal/ident"
 	"asyncfd/internal/trace"
 )
+
+// Millis converts a duration to float64 milliseconds — the unit every
+// duration-valued metric row of the asyncfd-bench/v2 schema uses (see
+// cmd/fdbench and docs/BENCHMARKS.md).
+func Millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // Interval is one [Start, End) downtime window of a process. End = -1 marks
 // an interval still open at the end of the record (the process never
@@ -136,6 +148,35 @@ type DetectionStats struct {
 	Missing int
 }
 
+// detAccum folds per-observer detection durations into a DetectionStats,
+// maintaining count/sum/min/max; stats() finalizes the average. It is the
+// shared accumulator of DetectionTimes, RedetectionTimes and
+// TrustRestorationTimes.
+type detAccum struct {
+	stats DetectionStats
+	total time.Duration
+}
+
+func (a *detAccum) add(det time.Duration) {
+	if a.stats.Count == 0 || det < a.stats.Min {
+		a.stats.Min = det
+	}
+	if a.stats.Count == 0 || det > a.stats.Max {
+		a.stats.Max = det
+	}
+	a.stats.Count++
+	a.total += det
+}
+
+func (a *detAccum) miss() { a.stats.Missing++ }
+
+func (a *detAccum) result() DetectionStats {
+	if a.stats.Count > 0 {
+		a.stats.Avg = a.total / time.Duration(a.stats.Count)
+	}
+	return a.stats
+}
+
 // episode is a [start, end) interval during which observer suspected
 // subject; end = -1 marks an episode still open at the end of the trace.
 type episode struct {
@@ -180,37 +221,24 @@ func DetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observ
 		return DetectionStats{Missing: observers.Len()}
 	}
 	events := sortedEvents(log)
-	var stats DetectionStats
-	var total time.Duration
-	first := true
+	var acc detAccum
 	observers.ForEach(func(obs ident.ID) bool {
 		if obs == subject {
 			return true
 		}
 		eps := episodes(events, obs, subject)
 		if len(eps) == 0 || eps[len(eps)-1].end != -1 {
-			stats.Missing++
+			acc.miss()
 			return true
 		}
 		det := eps[len(eps)-1].start - crashAt
 		if det < 0 {
 			det = 0 // suspected since before the crash
 		}
-		stats.Count++
-		total += det
-		if first || det < stats.Min {
-			stats.Min = det
-		}
-		if first || det > stats.Max {
-			stats.Max = det
-		}
-		first = false
+		acc.add(det)
 		return true
 	})
-	if stats.Count > 0 {
-		stats.Avg = total / time.Duration(stats.Count)
-	}
-	return stats
+	return acc.result()
 }
 
 // MistakeStats summarizes false suspicions of correct (or not-yet-crashed)
@@ -341,9 +369,7 @@ func RedetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, obse
 	}
 	iv := ivs[k]
 	events := sortedEvents(log)
-	var stats DetectionStats
-	var total time.Duration
-	first := true
+	var acc detAccum
 	observers.ForEach(func(obs ident.ID) bool {
 		if obs == subject {
 			return true
@@ -360,24 +386,13 @@ func RedetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, obse
 			}
 		}
 		if det < 0 {
-			stats.Missing++
+			acc.miss()
 			return true
 		}
-		stats.Count++
-		total += det
-		if first || det < stats.Min {
-			stats.Min = det
-		}
-		if first || det > stats.Max {
-			stats.Max = det
-		}
-		first = false
+		acc.add(det)
 		return true
 	})
-	if stats.Count > 0 {
-		stats.Avg = total / time.Duration(stats.Count)
-	}
-	return stats
+	return acc.result()
 }
 
 // TrustRestorationTimes measures, after the subject's k-th downtime ends,
@@ -395,9 +410,7 @@ func TrustRestorationTimes(log *trace.Log, truth *GroundTruth, subject ident.ID,
 	}
 	r := ivs[k].End
 	events := sortedEvents(log)
-	var stats DetectionStats
-	var total time.Duration
-	first := true
+	var acc detAccum
 	observers.ForEach(func(obs ident.ID) bool {
 		if obs == subject {
 			return true
@@ -411,27 +424,15 @@ func TrustRestorationTimes(log *trace.Log, truth *GroundTruth, subject ident.ID,
 			}
 			// Episode covers r.
 			if ep.end == -1 {
-				stats.Missing++
+				acc.miss()
 				return true
 			}
-			det := ep.end - r
-			stats.Count++
-			total += det
-			if first || det < stats.Min {
-				stats.Min = det
-			}
-			if first || det > stats.Max {
-				stats.Max = det
-			}
-			first = false
+			acc.add(ep.end - r)
 			return true
 		}
 		return true
 	})
-	if stats.Count > 0 {
-		stats.Avg = total / time.Duration(stats.Count)
-	}
-	return stats
+	return acc.result()
 }
 
 // Reconvergence measures the settle time after `from` (typically a heal or a

@@ -1,0 +1,176 @@
+// Package stats turns the seed families of the experiment engine into
+// distribution summaries: streaming mean/variance/standard-error
+// accumulation, two-sided Student-t 95% confidence intervals, and percentile
+// digests. The experiment harness (internal/exp) records one sample per
+// seed replicate of every table cell into a Collector, and cmd/fdbench
+// renders the aggregated rows as the asyncfd-bench/v2 schema (see the
+// repository README, "Reading BENCH_*.json", and docs/BENCHMARKS.md, "The
+// R-seed replication model").
+//
+// Everything here is deterministic in the input order: Summarize folds
+// samples left to right and sorts a private copy for the percentiles, so
+// identical sample sequences always produce bit-identical summaries —
+// the property the engine's serial/parallel byte-identity guarantee
+// extends through to the v2 rows.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Stream is a streaming mean/variance accumulator (Welford's algorithm):
+// one pass, O(1) memory, no catastrophic cancellation. The zero value is an
+// empty stream ready for Add.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations folded in.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the sample (n−1) variance; 0 while fewer than two
+// observations are in.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean, StdDev/√n; 0 while fewer
+// than two observations are in.
+func (s *Stream) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the two-sided Student-t 95% confidence
+// interval for the mean: TCritical95(n−1) × StdErr. The interval is
+// [Mean−CI95, Mean+CI95]. A family of fewer than two seeds has no interval
+// (0).
+func (s *Stream) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return TCritical95(s.n-1) * s.StdErr()
+}
+
+// tTable95 holds the two-sided 95% Student-t critical values (the 0.975
+// quantile) for 1–30 degrees of freedom.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom: exact table values for df ≤ 30, then a conservative
+// step function (the value of the largest tabulated df not exceeding the
+// argument: 40→2.021, 60→2.000, ≥120→1.980, approaching the normal 1.960
+// limit from above). df < 1 returns 0 — no interval is defined.
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	case df < 40:
+		return tTable95[len(tTable95)-1]
+	case df < 60:
+		return 2.021
+	case df < 120:
+		return 2.000
+	default:
+		return 1.980
+	}
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of samples under linear
+// interpolation between closest ranks (R type 7, the numpy default): rank
+// h = (n−1)·p, interpolating between the floor and ceiling order
+// statistics. Ties are handled naturally — equal order statistics
+// interpolate to themselves. Edge cases: an empty slice returns 0 (a
+// seedless family has no distribution), a single sample is every
+// percentile of itself, and p outside [0,1] clamps. The input is not
+// modified (a copy is sorted).
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if len(samples) == 1 {
+		return samples[0]
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	h := float64(len(sorted)-1) * p
+	lo := int(math.Floor(h))
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Summary is the distribution digest of one metric's seed family, the
+// payload of an asyncfd-bench/v2 row.
+type Summary struct {
+	N      int     // family size (number of seed replicates observed)
+	Mean   float64 // sample mean
+	StdErr float64 // standard error of the mean (0 when N < 2)
+	CI95   float64 // Student-t 95% CI half-width: [Mean−CI95, Mean+CI95]
+	P50    float64 // median (linear-interpolation percentile)
+	P99    float64 // 99th percentile
+	Min    float64
+	Max    float64
+}
+
+// Summarize digests a seed family. Samples are folded in the given order,
+// so callers that fix the order (the Collector sorts by replicate index)
+// get deterministic summaries whatever the execution interleaving that
+// produced the samples.
+func Summarize(samples []float64) Summary {
+	var st Stream
+	sum := Summary{}
+	for i, x := range samples {
+		st.Add(x)
+		if i == 0 || x < sum.Min {
+			sum.Min = x
+		}
+		if i == 0 || x > sum.Max {
+			sum.Max = x
+		}
+	}
+	sum.N = st.N()
+	sum.Mean = st.Mean()
+	sum.StdErr = st.StdErr()
+	sum.CI95 = st.CI95()
+	sum.P50 = Percentile(samples, 0.50)
+	sum.P99 = Percentile(samples, 0.99)
+	return sum
+}

@@ -1,0 +1,327 @@
+// Command benchdiff compares two asyncfd-bench JSON reports (schema v1 or
+// v2, as written by fdbench -json) and flags regressions, so CI — or a
+// reviewer — can gate a PR on the committed BENCH trajectory instead of
+// eyeballing it.
+//
+// Usage:
+//
+//	benchdiff [-slack F] [-throughput-threshold F] [-quiet] OLD.json NEW.json
+//
+// OLD is the baseline (e.g. the committed BENCH_quick_ci.json), NEW the
+// candidate (e.g. a freshly generated report on the same flags). Exit
+// status: 0 when no regression is found, 1 on regression, 2 on usage or
+// input errors — so `benchdiff old new` works directly as a CI gate.
+//
+// # The interval rule (v2 rows)
+//
+// When either report carries asyncfd-bench/v2 distribution rows, those are
+// the deterministic, machine-independent part, and benchdiff compares them
+// cell by cell: rows are matched on (experiment id, cell, metric) and the
+// candidate's mean is tested against the baseline's 95% confidence
+// interval. A matched metric is a regression when its mean moved OUTSIDE
+// [mean−ci95, mean+ci95] of the baseline IN THE WORSE DIRECTION — worse is
+// metric-aware: detection/convergence times, mistake and storm counts and
+// traffic are costs (up = worse), while query_accuracy, holds, clean and
+// never_suspected are scores (down = worse). Moves outside the interval in
+// the better direction are reported as improvements but do not fail the
+// gate. Baseline rows missing from the candidate (a lost experiment, cell
+// or metric) are coverage regressions and fail; candidate-only rows are
+// reported as additions and pass. -slack F widens every baseline interval
+// by F×|mean| (default 0) for deliberately loose gates.
+//
+// Zero-width intervals (R < 2 families, or zero spread) degrade to exact
+// mean equality, and there drift fails in EITHER direction — which is
+// precisely right for this engine: rows are byte-identical for a fixed
+// (seed, configuration) whatever the machine or -parallel value, so any
+// drift at all, "improvement" included, is a behavior change someone must
+// either fix or bless by regenerating the committed baseline.
+//
+// # The throughput rule (v1 reports)
+//
+// When the BASELINE has no rows (plain v1), its only comparable content is
+// engine throughput, which is machine- and load-dependent — so benchdiff
+// applies a plain-percentage threshold instead: events_per_sec,
+// runs_per_sec (higher better) and ns_per_run (lower better) may worsen by
+// up to -throughput-threshold (default 0.25, i.e. 25%) before the exit
+// status flips. This holds even when the candidate is v2 — rows the
+// baseline cannot vouch for must not turn the gate into a no-op. When the
+// baseline has rows, those are the gate and throughput changes are printed
+// as information only.
+//
+// Mismatched quick/seed flags between the reports make means incomparable;
+// benchdiff warns on stderr but still runs the comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// metricRow mirrors the rows of the asyncfd-bench/v2 schema.
+type metricRow struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	CI95   float64 `json:"ci95"`
+	P50    float64 `json:"p50"`
+	P99    float64 `json:"p99"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+type experimentBench struct {
+	ID     string      `json:"id"`
+	Events int64       `json:"events"`
+	Runs   int64       `json:"runs"`
+	Rows   []metricRow `json:"rows"`
+}
+
+type benchReport struct {
+	Schema       string            `json:"schema"`
+	Quick        bool              `json:"quick"`
+	Seed         int64             `json:"seed"`
+	Repeat       *int              `json:"repeat"`
+	EventsPerSec float64           `json:"events_per_sec"`
+	RunsPerSec   float64           `json:"runs_per_sec"`
+	NSPerRun     float64           `json:"ns_per_run"`
+	Experiments  []experimentBench `json:"experiments"`
+}
+
+func (r *benchReport) hasRows() bool {
+	for _, e := range r.Experiments {
+		if len(e.Rows) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// higherBetter lists the score metrics, where larger is better. Every
+// other metric is a cost (detection/convergence times, mistake, storm and
+// suspicion counts, traffic, decision latency): smaller is better.
+var higherBetter = map[string]bool{
+	"query_accuracy":  true,
+	"clean":           true,
+	"holds":           true,
+	"never_suspected": true,
+}
+
+// rowKey addresses one distribution row across reports.
+type rowKey struct {
+	Exp, Cell, Metric string
+}
+
+func (k rowKey) String() string { return k.Exp + " " + k.Cell + " " + k.Metric }
+
+func loadReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema == "" || len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: not an asyncfd-bench report (schema %q, %d experiments)", path, r.Schema, len(r.Experiments))
+	}
+	return &r, nil
+}
+
+func rowIndex(r *benchReport) (map[rowKey]metricRow, []rowKey) {
+	idx := make(map[rowKey]metricRow)
+	var keys []rowKey
+	for _, e := range r.Experiments {
+		for _, row := range e.Rows {
+			k := rowKey{Exp: e.ID, Cell: row.Cell, Metric: row.Metric}
+			idx[k] = row
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Exp != b.Exp {
+			return a.Exp < b.Exp
+		}
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		return a.Metric < b.Metric
+	})
+	return idx, keys
+}
+
+// diff holds the outcome of one comparison run.
+type diff struct {
+	regressions  []string
+	improvements []string
+	additions    int
+	compared     int
+}
+
+// compareRows applies the interval rule to every baseline row.
+func compareRows(old, cand *benchReport, slack float64) diff {
+	var d diff
+	oldIdx, oldKeys := rowIndex(old)
+	newIdx, newKeys := rowIndex(cand)
+	for _, k := range oldKeys {
+		o := oldIdx[k]
+		n, ok := newIdx[k]
+		if !ok {
+			d.regressions = append(d.regressions,
+				fmt.Sprintf("%s: row missing from candidate (coverage regression)", k))
+			continue
+		}
+		d.compared++
+		tolerance := o.CI95 + slack*abs(o.Mean)
+		delta := n.Mean - o.Mean
+		if abs(delta) <= tolerance {
+			continue
+		}
+		line := fmt.Sprintf("%s: mean %g -> %g (baseline ±%g, n=%d)", k, o.Mean, n.Mean, tolerance, o.N)
+		if tolerance == 0 {
+			// A zero-width interval means the baseline row is deterministic
+			// (R < 2 or zero spread): ANY drift is a behavior change that
+			// must be blessed by regenerating the baseline, whatever the
+			// direction.
+			d.regressions = append(d.regressions, line+" [zero-width interval: deterministic row changed]")
+			continue
+		}
+		worse := delta > 0
+		if higherBetter[k.Metric] {
+			worse = delta < 0
+		}
+		if worse {
+			d.regressions = append(d.regressions, line)
+		} else {
+			d.improvements = append(d.improvements, line)
+		}
+	}
+	for _, k := range newKeys {
+		if _, ok := oldIdx[k]; !ok {
+			d.additions++
+		}
+	}
+	return d
+}
+
+// compareThroughput applies the percentage rule to the v1 throughput
+// fields. gate selects whether a worsening beyond the threshold counts as
+// a regression (v1 inputs) or is informational only (v2 inputs, where the
+// rows gate instead).
+func compareThroughput(old, cand *benchReport, threshold float64, gate bool, out io.Writer) []string {
+	fields := []struct {
+		name         string
+		o, n         float64
+		higherBetter bool
+	}{
+		{"events_per_sec", old.EventsPerSec, cand.EventsPerSec, true},
+		{"runs_per_sec", old.RunsPerSec, cand.RunsPerSec, true},
+		{"ns_per_run", old.NSPerRun, cand.NSPerRun, false},
+	}
+	var regressions []string
+	for _, f := range fields {
+		if f.o == 0 {
+			continue
+		}
+		rel := (f.n - f.o) / f.o
+		worsening := -rel
+		if !f.higherBetter {
+			worsening = rel
+		}
+		switch {
+		case gate && worsening > threshold:
+			regressions = append(regressions,
+				fmt.Sprintf("throughput %s: %.4g -> %.4g (%.1f%% worse, threshold %.1f%%)",
+					f.name, f.o, f.n, worsening*100, threshold*100))
+		case !gate:
+			fmt.Fprintf(out, "info: throughput %s %.4g -> %.4g (%+.1f%%, not gated)\n", f.name, f.o, f.n, rel*100)
+		}
+	}
+	return regressions
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// run executes the comparison and returns the regression list. An error
+// means the comparison itself could not run (usage, unreadable input).
+func run(args []string, out io.Writer) ([]string, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	slack := fs.Float64("slack", 0, "extra allowed drift on v2 rows, as a fraction of the baseline mean, added to the ci95 half-width")
+	throughput := fs.Float64("throughput-threshold", 0.25, "allowed relative worsening of v1 throughput fields (0.25 = 25%)")
+	quiet := fs.Bool("quiet", false, "suppress improvement/addition/info lines; print regressions only")
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: benchdiff [flags] OLD.json NEW.json\n\ncompares two asyncfd-bench reports (see 'go doc ./cmd/benchdiff')\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return nil, fmt.Errorf("want exactly 2 arguments, got %d", fs.NArg())
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return nil, err
+	}
+	if oldRep.Quick != newRep.Quick || oldRep.Seed != newRep.Seed {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: reports differ in quick/seed (old quick=%v seed=%d, new quick=%v seed=%d); means may be incomparable\n",
+			oldRep.Quick, oldRep.Seed, newRep.Quick, newRep.Seed)
+	}
+
+	var d diff
+	if oldRep.hasRows() || newRep.hasRows() {
+		d = compareRows(oldRep, newRep, *slack)
+	}
+	infoSink := out
+	if *quiet {
+		infoSink = io.Discard
+	}
+	// Throughput gates whenever the BASELINE carries no rows — a rowless v1
+	// baseline must not turn the whole comparison into a no-op just because
+	// the candidate happens to be v2 (rows the baseline can't vouch for).
+	d.regressions = append(d.regressions,
+		compareThroughput(oldRep, newRep, *throughput, !oldRep.hasRows(), infoSink)...)
+
+	for _, line := range d.regressions {
+		fmt.Fprintf(out, "REGRESSION %s\n", line)
+	}
+	if !*quiet {
+		for _, line := range d.improvements {
+			fmt.Fprintf(out, "improvement %s\n", line)
+		}
+	}
+	fmt.Fprintf(out, "benchdiff: %d regressions, %d improvements, %d rows compared, %d rows added\n",
+		len(d.regressions), len(d.improvements), d.compared, d.additions)
+	return d.regressions, nil
+}
+
+func main() {
+	regressions, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		}
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+}

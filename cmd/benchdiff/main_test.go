@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// v2Report builds a minimal v2 report with one E1 row.
+func v2Report(mean, ci95 float64) *benchReport {
+	repeat := 5
+	return &benchReport{
+		Schema: "asyncfd-bench/v2",
+		Quick:  true,
+		Seed:   1,
+		Repeat: &repeat,
+		Experiments: []experimentBench{{
+			ID: "E1",
+			Rows: []metricRow{{
+				Cell: "n=8/async", Metric: "det_avg_ms", N: 5,
+				Mean: mean, CI95: ci95,
+			}},
+		}},
+	}
+}
+
+// writeReport marshals r into dir and returns the path.
+func writeReport(t *testing.T, dir, name string, r *benchReport) string {
+	t.Helper()
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runDiff runs benchdiff over the two reports and returns the regression
+// list and captured output.
+func runDiff(t *testing.T, args []string, old, cand *benchReport) ([]string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	paths := []string{writeReport(t, dir, "old.json", old), writeReport(t, dir, "new.json", cand)}
+	var out strings.Builder
+	regressions, err := run(append(args, paths...), &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	return regressions, out.String()
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	regressions, out := runDiff(t, nil, v2Report(12.5, 0.8), v2Report(12.5, 0.8))
+	if len(regressions) != 0 {
+		t.Errorf("identical reports flagged: %v\n%s", regressions, out)
+	}
+}
+
+func TestInsideIntervalPasses(t *testing.T) {
+	regressions, _ := runDiff(t, nil, v2Report(12.5, 0.8), v2Report(13.1, 0.2))
+	if len(regressions) != 0 {
+		t.Errorf("in-interval drift flagged: %v", regressions)
+	}
+}
+
+func TestOutsideIntervalWorseFails(t *testing.T) {
+	regressions, out := runDiff(t, nil, v2Report(12.5, 0.8), v2Report(14.0, 0.8))
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly 1\n%s", regressions, out)
+	}
+	if !strings.Contains(regressions[0], "E1 n=8/async det_avg_ms") {
+		t.Errorf("regression line lacks the row key: %q", regressions[0])
+	}
+}
+
+func TestOutsideIntervalBetterIsImprovement(t *testing.T) {
+	// det_avg_ms is a cost: a big drop is an improvement, not a regression.
+	regressions, out := runDiff(t, nil, v2Report(12.5, 0.8), v2Report(10.0, 0.8))
+	if len(regressions) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regressions)
+	}
+	if !strings.Contains(out, "improvement") {
+		t.Errorf("improvement not reported:\n%s", out)
+	}
+}
+
+func TestHigherBetterMetricDirection(t *testing.T) {
+	mk := func(mean float64) *benchReport {
+		r := v2Report(mean, 0.01)
+		r.Experiments[0].Rows[0].Metric = "query_accuracy"
+		return r
+	}
+	if regressions, _ := runDiff(t, nil, mk(0.99), mk(0.80)); len(regressions) != 1 {
+		t.Errorf("query_accuracy drop not flagged: %v", regressions)
+	}
+	if regressions, _ := runDiff(t, nil, mk(0.80), mk(0.99)); len(regressions) != 0 {
+		t.Errorf("query_accuracy gain flagged: %v", regressions)
+	}
+}
+
+func TestZeroWidthIntervalRequiresExactMatch(t *testing.T) {
+	// R=1 rows have ci95 = 0: ANY drift fails, in either direction — the
+	// engine is deterministic, so drift means behavior changed and the
+	// baseline must be regenerated to bless it.
+	if regressions, _ := runDiff(t, nil, v2Report(12.5, 0), v2Report(12.6, 0)); len(regressions) != 1 {
+		t.Errorf("zero-width worse drift not flagged: %v", regressions)
+	}
+	regressions, _ := runDiff(t, nil, v2Report(12.5, 0), v2Report(12.4, 0))
+	if len(regressions) != 1 {
+		t.Fatalf("zero-width better-direction drift not flagged: %v", regressions)
+	}
+	if !strings.Contains(regressions[0], "deterministic row changed") {
+		t.Errorf("zero-width regression lacks the explanation: %q", regressions[0])
+	}
+	// -slack widens the zero interval into a relative band.
+	if regressions, _ := runDiff(t, []string{"-slack", "0.05"}, v2Report(12.5, 0), v2Report(12.6, 0)); len(regressions) != 0 {
+		t.Errorf("slack did not widen the interval: %v", regressions)
+	}
+}
+
+func TestMissingRowIsCoverageRegression(t *testing.T) {
+	cand := v2Report(12.5, 0.8)
+	cand.Experiments[0].Rows = nil
+	regressions, _ := runDiff(t, nil, v2Report(12.5, 0.8), cand)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "missing") {
+		t.Errorf("missing row not flagged as coverage regression: %v", regressions)
+	}
+}
+
+func TestAddedRowsPass(t *testing.T) {
+	cand := v2Report(12.5, 0.8)
+	cand.Experiments[0].Rows = append(cand.Experiments[0].Rows, metricRow{
+		Cell: "n=8/async", Metric: "det_max_ms", N: 5, Mean: 30, CI95: 1,
+	})
+	regressions, out := runDiff(t, nil, v2Report(12.5, 0.8), cand)
+	if len(regressions) != 0 {
+		t.Errorf("candidate-only rows flagged: %v", regressions)
+	}
+	if !strings.Contains(out, "1 rows added") {
+		t.Errorf("addition not counted:\n%s", out)
+	}
+}
+
+// v1Report builds a rowless v1 report with the given throughput.
+func v1Report(eps, rps, nspr float64) *benchReport {
+	return &benchReport{
+		Schema: "asyncfd-bench/v1", Quick: true, Seed: 1,
+		EventsPerSec: eps, RunsPerSec: rps, NSPerRun: nspr,
+		Experiments: []experimentBench{{ID: "E1", Events: 100, Runs: 8}},
+	}
+}
+
+func TestV1ThroughputThreshold(t *testing.T) {
+	base := v1Report(1e6, 500, 2e6)
+	// 10% slower: inside the default 25% threshold.
+	if regressions, _ := runDiff(t, nil, base, v1Report(0.9e6, 450, 2.2e6)); len(regressions) != 0 {
+		t.Errorf("10%% throughput drop flagged at 25%% threshold: %v", regressions)
+	}
+	// 50% slower on all three fields: outside.
+	regressions, _ := runDiff(t, nil, base, v1Report(0.5e6, 250, 4e6))
+	if len(regressions) != 3 {
+		t.Errorf("50%% drop regressions = %v, want all 3 throughput fields", regressions)
+	}
+	// Tightened threshold catches the 10% drop too.
+	if regressions, _ := runDiff(t, []string{"-throughput-threshold", "0.05"}, base, v1Report(0.9e6, 450, 2.2e6)); len(regressions) != 3 {
+		t.Errorf("5%% threshold missed the 10%% drop: %v", regressions)
+	}
+}
+
+func TestRowlessBaselineStillGatesThroughput(t *testing.T) {
+	// A v1 baseline against a v2 candidate must not disable every rule:
+	// with no baseline rows to vouch for, the throughput threshold gates.
+	old := v1Report(1e6, 500, 2e6)
+	cand := v2Report(12.5, 0.8)
+	cand.EventsPerSec, cand.RunsPerSec, cand.NSPerRun = 0.5e6, 250, 4e6
+	regressions, _ := runDiff(t, nil, old, cand)
+	if len(regressions) != 3 {
+		t.Errorf("v1 baseline vs v2 candidate: regressions = %v, want the 3 throughput fields", regressions)
+	}
+}
+
+func TestV2ThroughputIsInformationalOnly(t *testing.T) {
+	old, cand := v2Report(12.5, 0.8), v2Report(12.5, 0.8)
+	old.EventsPerSec, cand.EventsPerSec = 1e6, 1e5 // 10× slower machine
+	regressions, out := runDiff(t, nil, old, cand)
+	if len(regressions) != 0 {
+		t.Errorf("v2 throughput gated: %v", regressions)
+	}
+	if !strings.Contains(out, "not gated") {
+		t.Errorf("v2 throughput change not reported as info:\n%s", out)
+	}
+}
+
+func TestUsageAndInputErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"only-one.json"}, &out); err == nil {
+		t.Error("one argument accepted")
+	}
+	if _, err := run([]string{"a.json", "b.json", "c.json"}, &out); err == nil {
+		t.Error("three arguments accepted")
+	}
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", v2Report(1, 0))
+	if _, err := run([]string{filepath.Join(dir, "missing.json"), good}, &out); err == nil {
+		t.Error("unreadable baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"hello": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{good, bad}, &out); err == nil {
+		t.Error("non-bench JSON accepted")
+	}
+}

@@ -51,9 +51,10 @@
 //	}
 //
 // -ci bumps the schema to "asyncfd-bench/v2": everything above plus a
-// top-level "repeat" (the resolved seed-family size R) and, on each
-// experiment that records metric samples, a "rows" array of per-cell
-// per-metric distribution summaries over the seed family:
+// top-level "repeat" (the resolved seed-family size R, always present in
+// v2 — even when it resolves to 1) and, on each experiment that records
+// metric samples, a "rows" array of per-cell per-metric distribution
+// summaries over the seed family:
 //
 //	{"id": "E1", "wall_ns": ..., "events": ..., "runs": ...,
 //	 "rows": [
@@ -68,21 +69,33 @@
 //	    "min": 1980.3, "max": 2052.7},
 //	   ...]}
 //
-// Experiments currently recording samples: E1 (det_avg_ms/det_max_ms per
-// n×detector), E2 (detection, mistake_rate, query_accuracy per f), E4
-// (mistakes, mistake_rate, mistake_dur_ms, query_accuracy per
-// delay-model×detector), E5/L5 (msgs_per_proc_s, bytes_per_proc_s;
-// single-seed families), R1 (det1/restore/det2 and storm per
-// detector×state-mode), R2 (storm, reconverge_ms, clean per detector), and
-// L1 (like E1 at n=128/256). Rows are sorted by cell then metric and are
-// byte-identical at any -parallel value (regression-tested), so v2 reports
-// diff cleanly. A family of R < 2 seeds has stderr = ci95 = 0 — run with
-// -repeat 5 (or more) for meaningful intervals.
+// Every experiment in the sweep records samples. Per experiment:
+// E1/L1 (det_avg_ms/det_max_ms per n×detector), E2 (detection,
+// mistake_rate, query_accuracy per f), E3 (mistakes, mistake_dur_ms,
+// peak_false_susp per detector under the slowdown), E4 (mistakes,
+// mistake_rate, mistake_dur_ms, query_accuracy per delay-model×detector),
+// E5/L5 (msgs_per_proc_s, bytes_per_proc_s; single-seed families), E6
+// (never_suspected, holds, favored_suspected per MP bias), E7
+// (decision_ms per detector), E8 (spread_ms, last_det_ms per n×detector),
+// A1 (tail_transitions, suspected_pairs, mistakes per tag variant), A2
+// (det_avg_ms/det_max_ms, mistake_rate, query_accuracy per window), R1
+// (det1/restore/det2 and storm per detector×state-mode), R2 (storm,
+// reconverge_ms, clean per detector), X1 (det_avg_ms/det_max_ms per
+// density×variant), and X2 (peak_false_susp, false_susp_total per mobility
+// variant). Rows are sorted by cell then metric and are byte-identical at
+// any -parallel value (regression-tested), so v2 reports diff cleanly. A
+// family of R < 2 seeds has stderr = ci95 = 0 — run with -repeat 5 (or
+// more) for meaningful intervals.
+//
+// With -repeat 2+, replicated table cells also render their family mean
+// with the Student-t 95% half-width appended ("12.3ms ±0.8ms");
+// unreplicated runs render byte-identically to earlier releases.
 //
 // Committed BENCH_*.json files at the repo root track the engine's
 // trajectory across PRs: BENCH_quick.json (v1, throughput) and
-// BENCH_quick_ci.json (v2 sample, -quick -repeat 5 -ci). See
-// docs/BENCHMARKS.md for the methodology and the full v1→v2 diff.
+// BENCH_quick_ci.json (v2 baseline, -quick -repeat 5 -ci; CI regenerates
+// it fresh and gates the diff with cmd/benchdiff). See docs/BENCHMARKS.md
+// for the methodology, the full v1→v2 diff and the regression rule.
 package main
 
 import (
@@ -133,12 +146,17 @@ type experimentBench struct {
 }
 
 type benchReport struct {
-	Schema       string            `json:"schema"`
-	GoMaxProcs   int               `json:"go_max_procs"`
-	Workers      int               `json:"workers"`
-	Quick        bool              `json:"quick"`
-	Seed         int64             `json:"seed"`
-	Repeat       int               `json:"repeat,omitempty"` // v2 only: resolved seed-family size
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	Workers    int    `json:"workers"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	// Repeat is the resolved seed-family size R. A pointer, not an
+	// omitempty int: v2 documents the field as always present, and the
+	// resolved family size is 1 in quick mode without -repeat — omitempty
+	// would silently drop exactly that documented case. v1 keeps it nil
+	// (absent).
+	Repeat       *int              `json:"repeat,omitempty"`
 	WallNS       int64             `json:"wall_ns"`
 	Events       int64             `json:"events"`
 	Runs         int64             `json:"runs"`
@@ -188,7 +206,8 @@ func run(args []string) error {
 	}
 	if *ciFlag {
 		report.Schema = "asyncfd-bench/v2"
-		report.Repeat = opts.Runs()
+		repeatResolved := opts.Runs()
+		report.Repeat = &repeatResolved
 	}
 
 	// Everything below is timed before rendering, so wall_ns measures

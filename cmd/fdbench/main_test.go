@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunErrorPaths covers the CLI failure modes: each must surface an
+// error instead of silently doing nothing (or worse, writing a bogus
+// report).
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown experiment", []string{"-quick", "-exp", "E99"}, "unknown experiment"},
+		{"negative repeat", []string{"-quick", "-repeat", "-2"}, "-repeat must be"},
+		{"unwritable json target", []string{"-quick", "-exp", "E2", "-json", filepath.Join(t.TempDir(), "no-such-dir", "out.json")}, "no-such-dir"},
+		{"json target is a directory", []string{"-quick", "-exp", "E2", "-json", t.TempDir()}, "is a directory"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestV2ReportAlwaysCarriesRepeat is the regression test for the omitempty
+// bug: a -ci run whose seed family resolves to 1 (quick mode, no -repeat)
+// used to drop the documented top-level "repeat" field entirely. v2 must
+// always carry it; v1 must never.
+func TestV2ReportAlwaysCarriesRepeat(t *testing.T) {
+	readReport := func(args []string) map[string]any {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "bench.json")
+		if err := run(append(args, "-json", path)); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	v2 := readReport([]string{"-quick", "-exp", "E2", "-ci"})
+	if v2["schema"] != "asyncfd-bench/v2" {
+		t.Fatalf("schema = %v, want asyncfd-bench/v2", v2["schema"])
+	}
+	rep, ok := v2["repeat"]
+	if !ok {
+		t.Fatal(`v2 report with resolved family size 1 dropped the "repeat" field`)
+	}
+	if rep != float64(1) {
+		t.Errorf("repeat = %v, want 1", rep)
+	}
+
+	v1 := readReport([]string{"-quick", "-exp", "E2"})
+	if v1["schema"] != "asyncfd-bench/v1" {
+		t.Fatalf("schema = %v, want asyncfd-bench/v1", v1["schema"])
+	}
+	if _, ok := v1["repeat"]; ok {
+		t.Error(`v1 report must not carry a "repeat" field`)
+	}
+}

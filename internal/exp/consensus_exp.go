@@ -9,6 +9,7 @@ import (
 	"asyncfd/internal/des"
 	"asyncfd/internal/ident"
 	"asyncfd/internal/netsim"
+	"asyncfd/internal/qos"
 	"asyncfd/internal/stats"
 	"asyncfd/internal/trace"
 )
@@ -139,12 +140,14 @@ func E7Consensus(opts Options) (*Table, error) {
 	}
 	k := 0
 	for _, kind := range kinds {
-		var sum time.Duration
+		cell := fmt.Sprintf("consensus/%s", kind)
+		var samples []float64
 		for r := 0; r < opts.runs(); r++ {
-			sum += lats[k]
+			samples = append(samples, qos.Millis(lats[k]))
+			opts.sample(cell, "decision_ms", r, qos.Millis(lats[k]))
 			k++
 		}
-		t.AddRow(kind.String(), ms(sum/time.Duration(opts.runs())))
+		t.AddRow(kind.String(), famMS(samples))
 	}
 	return t, nil
 }

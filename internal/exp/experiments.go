@@ -183,12 +183,14 @@ func detectionVsNTable(opts Options, t *Table, ns []int) (*Table, error) {
 		row := []string{strconv.Itoa(n), strconv.Itoa(boundedF(n))}
 		for _, kind := range AllKinds() {
 			cell := fmt.Sprintf("n=%d/%s", n, kind)
+			avgs := make([]float64, 0, opts.runs())
 			for r := 0; r < opts.runs(); r++ {
 				opts.sampleDetection(cell, "det", r, stats[k+r])
+				avgs = append(avgs, qos.Millis(stats[k+r].Avg))
 			}
 			agg := aggregateDetection(stats[k : k+opts.runs()])
 			k += opts.runs()
-			row = append(row, ms(agg.Avg), ms(agg.Max))
+			row = append(row, famMS(avgs), ms(agg.Max))
 		}
 		t.AddRow(row...)
 	}
@@ -276,21 +278,21 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 	for _, f := range fs {
 		cell := fmt.Sprintf("f=%d", f)
 		var stats []qos.DetectionStats
-		var rate, pa float64
+		var avgs, rates, pas []float64
 		for r := 0; r < opts.runs(); r++ {
 			res := results[k]
 			k++
 			stats = append(stats, res.stats)
-			rate += res.rate
-			pa += res.pa
+			avgs = append(avgs, qos.Millis(res.stats.Avg))
+			rates = append(rates, res.rate)
+			pas = append(pas, res.pa)
 			opts.sampleDetection(cell, "det", r, res.stats)
 			opts.sample(cell, "mistake_rate", r, res.rate)
 			opts.sample(cell, "query_accuracy", r, res.pa)
 		}
 		agg := aggregateDetection(stats)
-		runs := float64(opts.runs())
-		t.AddRow(strconv.Itoa(f), strconv.Itoa(n-f), ms(agg.Avg), ms(agg.Max),
-			fmt.Sprintf("%.4f", rate/runs), f3(pa/runs))
+		t.AddRow(strconv.Itoa(f), strconv.Itoa(n-f), famMS(avgs), ms(agg.Max),
+			famCell("%.4f", "", rates), famCell("%.3f", "", pas))
 	}
 	return t, nil
 }
@@ -322,39 +324,71 @@ func E3Disturbance(opts Options) (*Table, error) {
 		times = append(times, time.Duration(s)*time.Second)
 	}
 	kinds := []Kind{KindAsync, KindHeartbeat, KindPhi}
-	jobs := make([]func() ([]int, error), len(kinds))
-	for i, kind := range kinds {
+	type e3run struct {
+		series []int
+		mist   qos.MistakeStats
+	}
+	var jobs []func() (e3run, error)
+	for _, kind := range kinds {
 		kind := kind
-		cfg := ClusterConfig{
-			Kind: kind, N: n, F: f,
-			Seed: opts.seed(),
-			Delay: netsim.Disturbance{
-				Base:   defaultDelay(),
-				Nodes:  ident.SetOf(3),
-				Start:  start,
-				End:    end,
-				Factor: 3000,
-			},
-		}
-		jobs[i] = func() ([]int, error) {
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("E3 %v: %w", kind, err)
+		for r := 0; r < opts.runs(); r++ {
+			cfg := ClusterConfig{
+				Kind: kind, N: n, F: f,
+				Seed: opts.seed() + int64(r)*101,
+				Delay: netsim.Disturbance{
+					Base:   defaultDelay(),
+					Nodes:  ident.SetOf(3),
+					Start:  start,
+					End:    end,
+					Factor: 3000,
+				},
 			}
-			c.RunUntil(horizon)
-			opts.record(c.Sim)
-			return qos.FalseSuspicionSeries(c.Log, &qos.GroundTruth{}, times), nil
+			jobs = append(jobs, func() (e3run, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return e3run{}, fmt.Errorf("E3 %v: %w", kind, err)
+				}
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				truth := &qos.GroundTruth{}
+				return e3run{
+					series: qos.FalseSuspicionSeries(c.Log, truth, times),
+					mist:   qos.Mistakes(c.Log, truth, c.Members, horizon),
+				}, nil
+			})
 		}
 	}
-	series, err := runJobs(opts, jobs)
+	results, err := runJobs(opts, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for i, at := range times {
+	// perTime[kind][timepoint] holds the family's series values; the table
+	// renders the family mean per timepoint (the bare integer when R = 1).
+	perTime := make([][][]float64, len(kinds))
+	k := 0
+	for i, kind := range kinds {
+		cell := fmt.Sprintf("slow/%s", kind)
+		perTime[i] = make([][]float64, len(times))
+		for r := 0; r < opts.runs(); r++ {
+			res := results[k]
+			k++
+			peak := 0
+			for ti, v := range res.series {
+				perTime[i][ti] = append(perTime[i][ti], float64(v))
+				if v > peak {
+					peak = v
+				}
+			}
+			opts.sample(cell, "mistakes", r, float64(res.mist.Count))
+			opts.sample(cell, "mistake_dur_ms", r, qos.Millis(res.mist.AvgDuration))
+			opts.sample(cell, "peak_false_susp", r, float64(peak))
+		}
+	}
+	for ti, at := range times {
 		t.AddRow(fmt.Sprintf("%ds", int(at/time.Second)),
-			strconv.Itoa(series[0][i]),
-			strconv.Itoa(series[1][i]),
-			strconv.Itoa(series[2][i]))
+			famCount(perTime[0][ti]),
+			famCount(perTime[1][ti]),
+			famCount(perTime[2][ti]))
 	}
 	return t, nil
 }
@@ -421,25 +455,24 @@ func E4QoS(opts Options) (*Table, error) {
 	for _, m := range models {
 		for _, kind := range AllKinds() {
 			cellKey := fmt.Sprintf("%s/%s", m.name, kind)
-			var count, rate, dur, pa float64
+			var counts, rates, durs, pas []float64
 			for r := 0; r < opts.runs(); r++ {
 				cell := cells[k]
 				k++
-				count += float64(cell.mist.Count)
-				rate += cell.mist.Rate
-				dur += qos.Millis(cell.mist.AvgDuration)
-				pa += cell.pa
+				counts = append(counts, float64(cell.mist.Count))
+				rates = append(rates, cell.mist.Rate)
+				durs = append(durs, qos.Millis(cell.mist.AvgDuration))
+				pas = append(pas, cell.pa)
 				opts.sample(cellKey, "mistakes", r, float64(cell.mist.Count))
 				opts.sample(cellKey, "mistake_rate", r, cell.mist.Rate)
 				opts.sample(cellKey, "mistake_dur_ms", r, qos.Millis(cell.mist.AvgDuration))
 				opts.sample(cellKey, "query_accuracy", r, cell.pa)
 			}
-			runs := float64(opts.runs())
 			t.AddRow(m.name, kind.String(),
-				fmt.Sprintf("%.1f", count/runs),
-				fmt.Sprintf("%.5f", rate/runs),
-				fmt.Sprintf("%.1fms", dur/runs),
-				f3(pa/runs))
+				famCell("%.1f", "", counts),
+				famCell("%.5f", "", rates),
+				famMS(durs),
+				famCell("%.3f", "", pas))
 		}
 	}
 	return t, nil
@@ -600,23 +633,30 @@ func E6MPSensitivity(opts Options) (*Table, error) {
 	}
 	k := 0
 	for _, b := range biases {
+		cell := fmt.Sprintf("mp=%s", b.name)
 		holds := 0
-		totalNever := 0
 		favoredTail := 0
+		var nevers []float64
 		for r := 0; r < opts.runs(); r++ {
 			res := results[k]
 			k++
-			totalNever += res.never
+			nevers = append(nevers, float64(res.never))
+			holdsRun, favoredRun := 0.0, 0.0
 			if res.never > 0 {
 				holds++
+				holdsRun = 1
 			}
 			if res.favoredTail {
 				favoredTail++
+				favoredRun = 1
 			}
+			opts.sample(cell, "never_suspected", r, float64(res.never))
+			opts.sample(cell, "holds", r, holdsRun)
+			opts.sample(cell, "favored_suspected", r, favoredRun)
 		}
 		t.AddRow(b.name,
 			fmt.Sprintf("%d/%d", holds, opts.runs()),
-			fmt.Sprintf("%.1f", float64(totalNever)/float64(opts.runs())),
+			famCell("%.1f", "", nevers),
 			fmt.Sprintf("%d/%d", favoredTail, opts.runs()))
 	}
 	return t, nil
@@ -666,16 +706,18 @@ func E8Propagation(opts Options) (*Table, error) {
 	k := 0
 	for _, n := range ns {
 		row := []string{strconv.Itoa(n)}
-		for range []Kind{KindAsync, KindHeartbeat} {
-			var spreadSum, maxSum time.Duration
+		for _, kind := range []Kind{KindAsync, KindHeartbeat} {
+			cell := fmt.Sprintf("n=%d/%s", n, kind)
+			var spreads, maxes []float64
 			for r := 0; r < opts.runs(); r++ {
 				s := stats[k]
 				k++
-				spreadSum += s.Max - s.Min
-				maxSum += s.Max
+				spreads = append(spreads, qos.Millis(s.Max-s.Min))
+				maxes = append(maxes, qos.Millis(s.Max))
+				opts.sample(cell, "spread_ms", r, qos.Millis(s.Max-s.Min))
+				opts.sample(cell, "last_det_ms", r, qos.Millis(s.Max))
 			}
-			runs := time.Duration(opts.runs())
-			row = append(row, ms(spreadSum/runs), ms(maxSum/runs))
+			row = append(row, famMS(spreads), famMS(maxes))
 		}
 		t.AddRow(row...)
 	}
@@ -706,65 +748,79 @@ func A1TagsAblation(opts Options) (*Table, error) {
 		mist  int
 	}
 	variants := []bool{false, true}
-	jobs := make([]func() (a1cell, error), len(variants))
-	for i, disable := range variants {
+	var jobs []func() (a1cell, error)
+	for _, disable := range variants {
 		disable := disable
-		cfg := ClusterConfig{
-			Kind: KindAsync, N: n, F: f,
-			Seed: opts.seed(),
-			// A constant-delay base keeps the network itself mistake-free,
-			// so every event in the tail is attributable to the replay.
-			Delay: netsim.Disturbance{
-				Base:   netsim.Constant{D: time.Millisecond},
-				Nodes:  ident.SetOf(3),
-				Start:  20 * time.Second,
-				End:    25 * time.Second,
-				Factor: 3000,
-			},
-			Window:      5 * time.Millisecond,
-			Interval:    200 * time.Millisecond,
-			DisableTags: disable,
-		}
-		jobs[i] = func() (a1cell, error) {
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return a1cell{}, fmt.Errorf("A1: %w", err)
+		for r := 0; r < opts.runs(); r++ {
+			cfg := ClusterConfig{
+				Kind: KindAsync, N: n, F: f,
+				Seed: opts.seed() + int64(r)*101,
+				// A constant-delay base keeps the network itself mistake-free,
+				// so every event in the tail is attributable to the replay.
+				Delay: netsim.Disturbance{
+					Base:   netsim.Constant{D: time.Millisecond},
+					Nodes:  ident.SetOf(3),
+					Start:  20 * time.Second,
+					End:    25 * time.Second,
+					Factor: 3000,
+				},
+				Window:      5 * time.Millisecond,
+				Interval:    200 * time.Millisecond,
+				DisableTags: disable,
 			}
-			// Replay: an "old" query from p2 still carrying the long-refuted
-			// suspicion ⟨p3, 1⟩ arrives at p5, ten times. Tag 1 is far below
-			// the tags of p3's refutations from the disturbance.
-			stale := core.Query{From: 2, Round: 1, Suspected: []tagset.Entry{{ID: 3, Tag: 1}}}
-			for i := 0; i < 10; i++ {
-				at := 60*time.Second + time.Duration(i)*500*time.Millisecond
-				c.Sim.At(at, func() { c.Inject(5, 2, stale) })
-			}
-			c.RunUntil(horizon)
-			opts.record(c.Sim)
-			tail := 0
-			for _, e := range c.Log.Events() {
-				if e.At >= tailCut {
-					tail++
+			jobs = append(jobs, func() (a1cell, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return a1cell{}, fmt.Errorf("A1: %w", err)
 				}
-			}
-			pairs := 0
-			c.Members.ForEach(func(id ident.ID) bool {
-				pairs += c.Detector(id).Suspects().Len()
-				return true
+				// Replay: an "old" query from p2 still carrying the long-refuted
+				// suspicion ⟨p3, 1⟩ arrives at p5, ten times. Tag 1 is far below
+				// the tags of p3's refutations from the disturbance.
+				stale := core.Query{From: 2, Round: 1, Suspected: []tagset.Entry{{ID: 3, Tag: 1}}}
+				for i := 0; i < 10; i++ {
+					at := 60*time.Second + time.Duration(i)*500*time.Millisecond
+					c.Sim.At(at, func() { c.Inject(5, 2, stale) })
+				}
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				tail := 0
+				for _, e := range c.Log.Events() {
+					if e.At >= tailCut {
+						tail++
+					}
+				}
+				pairs := 0
+				c.Members.ForEach(func(id ident.ID) bool {
+					pairs += c.Detector(id).Suspects().Len()
+					return true
+				})
+				mist := qos.Mistakes(c.Log, &qos.GroundTruth{}, c.Members, horizon)
+				return a1cell{tail: tail, pairs: pairs, mist: mist.Count}, nil
 			})
-			mist := qos.Mistakes(c.Log, &qos.GroundTruth{}, c.Members, horizon)
-			return a1cell{tail: tail, pairs: pairs, mist: mist.Count}, nil
 		}
 	}
 	cells, err := runJobs(opts, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for i, disable := range variants {
-		name := "tags on (paper)"
+	k := 0
+	for _, disable := range variants {
+		name, cell := "tags on (paper)", "tags=on"
 		if disable {
-			name = "tags off (ablated)"
+			name, cell = "tags off (ablated)", "tags=off"
 		}
-		t.AddRow(name, strconv.Itoa(cells[i].tail), strconv.Itoa(cells[i].pairs), strconv.Itoa(cells[i].mist))
+		var tails, pairs, mists []float64
+		for r := 0; r < opts.runs(); r++ {
+			res := cells[k]
+			k++
+			tails = append(tails, float64(res.tail))
+			pairs = append(pairs, float64(res.pairs))
+			mists = append(mists, float64(res.mist))
+			opts.sample(cell, "tail_transitions", r, float64(res.tail))
+			opts.sample(cell, "suspected_pairs", r, float64(res.pairs))
+			opts.sample(cell, "mistakes", r, float64(res.mist))
+		}
+		t.AddRow(name, famCount(tails), famCount(pairs), famCount(mists))
 	}
 	return t, nil
 }
@@ -790,44 +846,62 @@ func A2WindowAblation(opts Options) (*Table, error) {
 		rate float64
 		pa   float64
 	}
-	jobs := make([]func() (a2cell, error), len(windows))
-	for i, w := range windows {
-		cfg := ClusterConfig{
-			Kind: KindAsync, N: n, F: f,
-			Seed:     opts.seed(),
-			Delay:    netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 500 * time.Millisecond},
-			Window:   w,
-			Interval: 200 * time.Millisecond,
-		}
-		jobs[i] = func() (a2cell, error) {
-			c, err := NewCluster(cfg)
-			if err != nil {
-				return a2cell{}, fmt.Errorf("A2: %w", err)
+	var jobs []func() (a2cell, error)
+	for _, w := range windows {
+		w := w
+		for r := 0; r < opts.runs(); r++ {
+			cfg := ClusterConfig{
+				Kind: KindAsync, N: n, F: f,
+				Seed:     opts.seed() + int64(r)*101,
+				Delay:    netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 500 * time.Millisecond},
+				Window:   w,
+				Interval: 200 * time.Millisecond,
 			}
-			truth := c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 20*time.Second))
-			c.RunUntil(horizon)
-			opts.record(c.Sim)
-			observers := c.Members.Clone()
-			observers.Remove(ident.ID(n - 1))
-			mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
-			return a2cell{
-				det:  qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers),
-				rate: mist.Rate,
-				pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
-			}, nil
+			jobs = append(jobs, func() (a2cell, error) {
+				c, err := NewCluster(cfg)
+				if err != nil {
+					return a2cell{}, fmt.Errorf("A2: %w", err)
+				}
+				truth := c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 20*time.Second))
+				c.RunUntil(horizon)
+				opts.record(c.Sim)
+				observers := c.Members.Clone()
+				observers.Remove(ident.ID(n - 1))
+				mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
+				return a2cell{
+					det:  qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers),
+					rate: mist.Rate,
+					pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+				}, nil
+			})
 		}
 	}
 	cells, err := runJobs(opts, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range windows {
+	k := 0
+	for _, w := range windows {
 		label := "0"
 		if w > time.Nanosecond {
 			label = ms(w)
 		}
-		cell := cells[i]
-		t.AddRow(label, ms(cell.det.Avg), ms(cell.det.Max), fmt.Sprintf("%.4f", cell.rate), f3(cell.pa))
+		cellKey := fmt.Sprintf("window=%s", label)
+		var dets []qos.DetectionStats
+		var avgs, rates, pas []float64
+		for r := 0; r < opts.runs(); r++ {
+			res := cells[k]
+			k++
+			dets = append(dets, res.det)
+			avgs = append(avgs, qos.Millis(res.det.Avg))
+			rates = append(rates, res.rate)
+			pas = append(pas, res.pa)
+			opts.sampleDetection(cellKey, "det", r, res.det)
+			opts.sample(cellKey, "mistake_rate", r, res.rate)
+			opts.sample(cellKey, "query_accuracy", r, res.pa)
+		}
+		agg := aggregateDetection(dets)
+		t.AddRow(label, famMS(avgs), ms(agg.Max), famCell("%.4f", "", rates), famCell("%.3f", "", pas))
 	}
 	return t, nil
 }

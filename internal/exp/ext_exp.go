@@ -82,53 +82,72 @@ func X1DensityExt(opts Options) (*Table, error) {
 			"(multi-hop needs a larger Θ); shape of RR-6088 Fig. 2", n, f),
 		Columns: []string{"d", "async avg", "async max", "gossip-FT avg", "gossip-FT max"},
 	}
-	// Two jobs per density: the asynchronous detector on the unknown
-	// network, and the gossip heartbeat comparator on the same topology.
+	// Per density, an R-seed family for each variant: the asynchronous
+	// detector on the unknown network, and the gossip heartbeat comparator
+	// on the same topology.
+	variants := []string{"async", "gossip-ft"}
 	var jobs []func() (qos.DetectionStats, error)
 	for _, k := range ks {
 		k := k
 		crash := ident.ID(0)
-		jobs = append(jobs, func() (qos.DetectionStats, error) {
-			g := topology.Circulant(n, k)
-			observers := ident.FullSet(n)
-			observers.Remove(crash)
-			uc, err := unknown.NewCluster(unknown.ClusterConfig{
-				Graph: g, F: f, Seed: opts.seed(),
-				Delay:    defaultDelay(),
-				Window:   250 * time.Millisecond,
-				Interval: 250 * time.Millisecond,
-			})
-			if err != nil {
-				return qos.DetectionStats{}, fmt.Errorf("X1 async d=%d: %w", 2*k+1, err)
+		for _, variant := range variants {
+			variant := variant
+			for r := 0; r < opts.runs(); r++ {
+				seed := opts.seed() + int64(r)*101
+				jobs = append(jobs, func() (qos.DetectionStats, error) {
+					g := topology.Circulant(n, k)
+					observers := ident.FullSet(n)
+					observers.Remove(crash)
+					if variant == "async" {
+						uc, err := unknown.NewCluster(unknown.ClusterConfig{
+							Graph: g, F: f, Seed: seed,
+							Delay:    defaultDelay(),
+							Window:   250 * time.Millisecond,
+							Interval: 250 * time.Millisecond,
+						})
+						if err != nil {
+							return qos.DetectionStats{}, fmt.Errorf("X1 async d=%d: %w", 2*k+1, err)
+						}
+						truth := &qos.GroundTruth{}
+						truth.Crash(crash, crashAt)
+						uc.CrashAt(crash, crashAt)
+						uc.RunUntil(horizon)
+						opts.record(uc.Sim)
+						return qos.DetectionTimes(uc.Log, truth, crash, observers), nil
+					}
+					gc, err := newGossipCluster(g, seed, defaultDelay(), time.Second, 4*time.Second)
+					if err != nil {
+						return qos.DetectionStats{}, fmt.Errorf("X1 gossip d=%d: %w", 2*k+1, err)
+					}
+					gtruth := faults.Schedule{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
+					gc.sim.RunUntil(horizon)
+					opts.record(gc.sim)
+					return qos.DetectionTimes(gc.log, gtruth, crash, observers), nil
+				})
 			}
-			truth := &qos.GroundTruth{}
-			truth.Crash(crash, crashAt)
-			uc.CrashAt(crash, crashAt)
-			uc.RunUntil(horizon)
-			opts.record(uc.Sim)
-			return qos.DetectionTimes(uc.Log, truth, crash, observers), nil
-		})
-		jobs = append(jobs, func() (qos.DetectionStats, error) {
-			g := topology.Circulant(n, k)
-			observers := ident.FullSet(n)
-			observers.Remove(crash)
-			gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
-			if err != nil {
-				return qos.DetectionStats{}, fmt.Errorf("X1 gossip d=%d: %w", 2*k+1, err)
-			}
-			gtruth := faults.Schedule{}.CrashAt(crash, crashAt).Apply(gc.sim, gc.net)
-			gc.sim.RunUntil(horizon)
-			opts.record(gc.sim)
-			return qos.DetectionTimes(gc.log, gtruth, crash, observers), nil
-		})
+		}
 	}
 	cells, err := runJobs(opts, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for i, k := range ks {
-		async, gossip := cells[2*i], cells[2*i+1]
-		t.AddRow(strconv.Itoa(2*k+1), ms(async.Avg), ms(async.Max), ms(gossip.Avg), ms(gossip.Max))
+	idx := 0
+	for _, k := range ks {
+		row := []string{strconv.Itoa(2*k + 1)}
+		for _, variant := range variants {
+			cell := fmt.Sprintf("d=%d/%s", 2*k+1, variant)
+			var avgs []float64
+			var agg []qos.DetectionStats
+			for r := 0; r < opts.runs(); r++ {
+				s := cells[idx]
+				idx++
+				agg = append(agg, s)
+				avgs = append(avgs, qos.Millis(s.Avg))
+				opts.sampleDetection(cell, "det", r, s)
+			}
+			row = append(row, famMS(avgs), ms(aggregateDetection(agg).Max))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -163,72 +182,78 @@ func X2MobilityExt(opts Options) (*Table, error) {
 		}
 		return s
 	}
-	jobs := []func() ([]int, error){
-		func() ([]int, error) {
-			truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
-			g := topology.Circulant(n, k)
-			uc, err := unknown.NewCluster(unknown.ClusterConfig{
-				Graph: g, F: f, Seed: opts.seed(),
-				Delay:       defaultDelay(),
-				Window:      250 * time.Millisecond,
-				Interval:    250 * time.Millisecond,
-				Rebroadcast: time.Second,
-				Mobility:    true,
+	asyncRun := func(seed int64) ([]int, error) {
+		truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
+		g := topology.Circulant(n, k)
+		uc, err := unknown.NewCluster(unknown.ClusterConfig{
+			Graph: g, F: f, Seed: seed,
+			Delay:       defaultDelay(),
+			Window:      250 * time.Millisecond,
+			Interval:    250 * time.Millisecond,
+			Rebroadcast: time.Second,
+			Mobility:    true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("X2 async: %w", err)
+		}
+		uc.RelocateAt(0, newRange(), away, back)
+		uc.RunUntil(horizon)
+		opts.record(uc.Sim)
+		return qos.FalseSuspicionSeries(uc.Log, truth, times), nil
+	}
+	gossipRun := func(seed int64) ([]int, error) {
+		truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
+		g := topology.Circulant(n, k)
+		newNeighbors := newRange()
+		gc, err := newGossipCluster(g, seed, defaultDelay(), time.Second, 4*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("X2 gossip: %w", err)
+		}
+		// Equivalent move for the gossip cluster via a link filter window.
+		moving := false
+		gc.net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+			if moving && (from == 0 || to == 0) {
+				return false
+			}
+			return true
+		})
+		gc.sim.At(away, func() { moving = true })
+		gc.sim.At(back, func() {
+			moving = false
+			// Reattach at the new position.
+			newNeighbors.ForEach(func(o ident.ID) bool {
+				nb := gc.net.Neighbors(o)
+				nb.Add(0)
+				gc.net.SetNeighbors(o, nb)
+				return true
 			})
-			if err != nil {
-				return nil, fmt.Errorf("X2 async: %w", err)
-			}
-			uc.RelocateAt(0, newRange(), away, back)
-			uc.RunUntil(horizon)
-			opts.record(uc.Sim)
-			return qos.FalseSuspicionSeries(uc.Log, truth, times), nil
-		},
-		func() ([]int, error) {
-			truth := &qos.GroundTruth{} // nobody crashes: every suspicion is false
-			g := topology.Circulant(n, k)
-			newNeighbors := newRange()
-			gc, err := newGossipCluster(g, opts.seed(), defaultDelay(), time.Second, 4*time.Second)
-			if err != nil {
-				return nil, fmt.Errorf("X2 gossip: %w", err)
-			}
-			// Equivalent move for the gossip cluster via a link filter window.
-			moving := false
-			gc.net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
-				if moving && (from == 0 || to == 0) {
-					return false
+			g.Neighbors(0).ForEach(func(o ident.ID) bool {
+				if !newNeighbors.Has(o) {
+					nb := gc.net.Neighbors(o)
+					nb.Remove(0)
+					gc.net.SetNeighbors(o, nb)
 				}
 				return true
 			})
-			gc.sim.At(away, func() { moving = true })
-			gc.sim.At(back, func() {
-				moving = false
-				// Reattach at the new position.
-				newNeighbors.ForEach(func(o ident.ID) bool {
-					nb := gc.net.Neighbors(o)
-					nb.Add(0)
-					gc.net.SetNeighbors(o, nb)
-					return true
-				})
-				g.Neighbors(0).ForEach(func(o ident.ID) bool {
-					if !newNeighbors.Has(o) {
-						nb := gc.net.Neighbors(o)
-						nb.Remove(0)
-						gc.net.SetNeighbors(o, nb)
-					}
-					return true
-				})
-				gc.net.SetNeighbors(0, newNeighbors)
-			})
-			gc.sim.RunUntil(horizon)
-			opts.record(gc.sim)
-			return qos.FalseSuspicionSeries(gc.log, truth, times), nil
-		},
+			gc.net.SetNeighbors(0, newNeighbors)
+		})
+		gc.sim.RunUntil(horizon)
+		opts.record(gc.sim)
+		return qos.FalseSuspicionSeries(gc.log, truth, times), nil
+	}
+	// One R-seed family per variant; async replicates first, then gossip.
+	var jobs []func() ([]int, error)
+	for _, run := range []func(int64) ([]int, error){asyncRun, gossipRun} {
+		run := run
+		for r := 0; r < opts.runs(); r++ {
+			seed := opts.seed() + int64(r)*101
+			jobs = append(jobs, func() ([]int, error) { return run(seed) })
+		}
 	}
 	series, err := runJobs(opts, jobs)
 	if err != nil {
 		return nil, err
 	}
-	asyncSeries, gossipSeries := series[0], series[1]
 
 	t := &Table{
 		ID:    "X2",
@@ -237,9 +262,31 @@ func X2MobilityExt(opts Options) (*Table, error) {
 			"shape of RR-6088 Fig. 3", n, f),
 		Columns: []string{"t", "async", "gossip-FT"},
 	}
-	for i, at := range times {
+	// perTime[variant][timepoint] holds the family's series values.
+	variants := []string{"async", "gossip-ft"}
+	perTime := make([][][]float64, len(variants))
+	idx := 0
+	for v, variant := range variants {
+		cell := fmt.Sprintf("mobility/%s", variant)
+		perTime[v] = make([][]float64, len(times))
+		for r := 0; r < opts.runs(); r++ {
+			s := series[idx]
+			idx++
+			peak, total := 0, 0
+			for ti, count := range s {
+				perTime[v][ti] = append(perTime[v][ti], float64(count))
+				if count > peak {
+					peak = count
+				}
+				total += count
+			}
+			opts.sample(cell, "peak_false_susp", r, float64(peak))
+			opts.sample(cell, "false_susp_total", r, float64(total))
+		}
+	}
+	for ti, at := range times {
 		t.AddRow(fmt.Sprintf("%ds", int(at/time.Second)),
-			strconv.Itoa(asyncSeries[i]), strconv.Itoa(gossipSeries[i]))
+			famCount(perTime[0][ti]), famCount(perTime[1][ti]))
 	}
 	return t, nil
 }

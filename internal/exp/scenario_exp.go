@@ -91,25 +91,26 @@ func R1CrashRecovery(opts Options) (*Table, error) {
 	for _, kind := range AllKinds() {
 		for _, mode := range modes {
 			cellKey := fmt.Sprintf("%s/%s", kind, mode.name)
-			var det1, restore, det2 []qos.DetectionStats
-			storm := 0
+			var det2 []qos.DetectionStats
+			var det1Avgs, restoreAvgs, det2Avgs, storms []float64
 			for r := 0; r < opts.runs(); r++ {
 				cell := cells[k]
 				k++
-				det1 = append(det1, cell.det1)
-				restore = append(restore, cell.restore)
 				det2 = append(det2, cell.det2)
-				storm += cell.storm
+				det1Avgs = append(det1Avgs, qos.Millis(cell.det1.Avg))
+				restoreAvgs = append(restoreAvgs, qos.Millis(cell.restore.Avg))
+				det2Avgs = append(det2Avgs, qos.Millis(cell.det2.Avg))
+				storms = append(storms, float64(cell.storm))
 				opts.sampleDetection(cellKey, "det1", r, cell.det1)
 				opts.sampleDetection(cellKey, "restore", r, cell.restore)
 				opts.sampleDetection(cellKey, "det2", r, cell.det2)
 				opts.sample(cellKey, "storm", r, float64(cell.storm))
 			}
-			d1, rs, d2 := aggregateDetection(det1), aggregateDetection(restore), aggregateDetection(det2)
+			d2 := aggregateDetection(det2)
 			t.AddRow(kind.String(), mode.name,
-				ms(d1.Avg), ms(rs.Avg), ms(d2.Avg),
+				famMS(det1Avgs), famMS(restoreAvgs), famMS(det2Avgs),
 				strconv.Itoa(d2.Missing),
-				fmt.Sprintf("%.1f", float64(storm)/float64(opts.runs())))
+				famCell("%.1f", "", storms))
 		}
 	}
 	return t, nil
@@ -189,13 +190,14 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 	k := 0
 	for _, kind := range AllKinds() {
 		cellKey := kind.String()
-		storm, cleanRuns := 0, 0
-		var settleSum, settleMax time.Duration
+		cleanRuns := 0
+		var settleMax time.Duration
+		var storms, settles []float64
 		for r := 0; r < opts.runs(); r++ {
 			cell := cells[k]
 			k++
-			storm += cell.storm
-			settleSum += cell.settle
+			storms = append(storms, float64(cell.storm))
+			settles = append(settles, qos.Millis(cell.settle))
 			if cell.settle > settleMax {
 				settleMax = cell.settle
 			}
@@ -210,11 +212,10 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 			}
 			opts.sample(cellKey, "clean", r, clean)
 		}
-		runs := opts.runs()
 		t.AddRow(kind.String(),
-			fmt.Sprintf("%.1f", float64(storm)/float64(runs)),
-			ms(settleSum/time.Duration(runs)), ms(settleMax),
-			fmt.Sprintf("%d/%d", cleanRuns, runs))
+			famCell("%.1f", "", storms),
+			famMS(settles), ms(settleMax),
+			fmt.Sprintf("%d/%d", cleanRuns, opts.runs()))
 	}
 	return t, nil
 }

@@ -38,7 +38,7 @@ func v2RowsJSON(t *testing.T, workers int) string {
 	t.Helper()
 	col := &stats.Collector{}
 	opts := Options{Quick: true, Seed: 5, Repeat: 3, Parallel: workers, Samples: col}
-	for _, fn := range []func(Options) (*Table, error){E1DetectionVsN, E4QoS, R1CrashRecovery} {
+	for _, fn := range []func(Options) (*Table, error){E1DetectionVsN, E3Disturbance, E4QoS, A2WindowAblation, R1CrashRecovery} {
 		if _, err := fn(opts); err != nil {
 			t.Fatal(err)
 		}
@@ -99,9 +99,10 @@ func TestSeedFamilyRowShape(t *testing.T) {
 	}
 }
 
-// TestAllResultsCarriesRows: the sweep-level API must attach each sampled
-// experiment's rows to its own Result (leaving unsampled experiments
-// bare) AND forward every sample to the caller's collector.
+// TestAllResultsCarriesRows: the sweep-level API must attach EVERY
+// experiment's rows to its own Result — since PR 4 the whole sweep
+// (E1–E8, ablations, scenarios, extensions, large-n) records samples —
+// AND forward every sample to the caller's collector.
 func TestAllResultsCarriesRows(t *testing.T) {
 	col := &stats.Collector{}
 	results, err := AllResults(Options{Quick: true, Parallel: 2, Samples: col})
@@ -116,13 +117,10 @@ func TestAllResultsCarriesRows(t *testing.T) {
 		}
 		total += len(r.Rows)
 	}
-	for _, id := range []string{"E1", "E2", "E4", "E5", "R1", "R2", "L1", "L5"} {
-		if !sampled[id] {
-			t.Errorf("experiment %s carries no rows", id)
+	for _, e := range Experiments() {
+		if !sampled[e.ID] {
+			t.Errorf("experiment %s carries no rows", e.ID)
 		}
-	}
-	if sampled["E3"] || sampled["X1"] {
-		t.Error("unsampled experiments must not carry rows")
 	}
 	// The caller's collector must see the union of all experiments'
 	// samples; (cell, metric) families are currently disjoint across

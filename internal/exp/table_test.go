@@ -91,12 +91,51 @@ func TestTableRenderNoNote(t *testing.T) {
 }
 
 func TestTableRenderShortRow(t *testing.T) {
-	// Rows narrower than Columns must render without panicking.
+	// Rows narrower than Columns must render without panicking. AddRow
+	// rejects the mismatch, so the row is injected directly.
 	tbl := &Table{ID: "T", Title: "short", Columns: []string{"a", "b", "c"}}
-	tbl.AddRow("only")
+	tbl.Rows = append(tbl.Rows, []string{"only"})
 	lines := renderLines(t, tbl)
 	if !strings.Contains(lines[len(lines)-1], "only") {
 		t.Errorf("short row lost: %q", lines)
+	}
+}
+
+func TestTableRenderWideRow(t *testing.T) {
+	// Regression: a row with MORE cells than Columns used to index
+	// widths[i] out of range and panic mid-render. It must render, with the
+	// overflow cells unpadded.
+	tbl := &Table{ID: "T", Title: "wide", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.Rows = append(tbl.Rows, []string{"3", "4", "overflow", "more"})
+	lines := renderLines(t, tbl)
+	last := lines[len(lines)-1]
+	for _, want := range []string{"3", "4", "overflow", "more"} {
+		if !strings.Contains(last, want) {
+			t.Errorf("wide row lost cell %q: %q", want, last)
+		}
+	}
+}
+
+func TestAddRowRejectsMismatch(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "strict", Columns: []string{"a", "b"}}
+	for _, cells := range [][]string{{"1"}, {"1", "2", "3"}} {
+		cells := cells
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddRow(%d cells) with 2 columns did not panic", len(cells))
+				}
+			}()
+			tbl.AddRow(cells...)
+		}()
+	}
+	// Matching rows, and rows on a column-less table, stay accepted.
+	tbl.AddRow("1", "2")
+	free := &Table{ID: "F", Title: "no columns"}
+	free.AddRow("anything", "goes", "here")
+	if len(tbl.Rows) != 1 || len(free.Rows) != 1 {
+		t.Errorf("valid rows rejected: %d/%d", len(tbl.Rows), len(free.Rows))
 	}
 }
 
@@ -120,5 +159,37 @@ func TestMsF3Formatting(t *testing.T) {
 	}
 	if got := f3(0.12345); got != "0.123" {
 		t.Errorf("f3 = %q", got)
+	}
+}
+
+func TestFamCellFormatting(t *testing.T) {
+	// Unreplicated family: byte-identical to the plain format — no ± suffix.
+	if got := famMS([]float64{1.5}); got != "1.5ms" {
+		t.Errorf("famMS single = %q, want 1.5ms", got)
+	}
+	if got := famCell("%.4f", "", []float64{0.0123}); got != "0.0123" {
+		t.Errorf("famCell single = %q", got)
+	}
+	// Zero-spread family: still no suffix (CI95 = 0).
+	if got := famMS([]float64{2, 2, 2}); got != "2.0ms" {
+		t.Errorf("famMS zero-spread = %q, want 2.0ms", got)
+	}
+	// Replicated family with spread: mean ±ci95 in the same format+unit.
+	got := famMS([]float64{10, 12, 14})
+	if !strings.HasPrefix(got, "12.0ms ±") || !strings.HasSuffix(got, "ms") {
+		t.Errorf("famMS replicated = %q, want \"12.0ms ±<w>ms\"", got)
+	}
+	// A half-width below the format's resolution must not print a
+	// misleading " ±0.0ms" (indistinguishable from zero spread).
+	if got := famMS([]float64{12.0, 12.001, 12.002}); got != "12.0ms" {
+		t.Errorf("famMS sub-resolution spread = %q, want bare mean", got)
+	}
+	// famCount: bare integer for R=1, one-decimal mean ±ci95 otherwise.
+	if got := famCount([]float64{7}); got != "7" {
+		t.Errorf("famCount single = %q, want 7", got)
+	}
+	got = famCount([]float64{1, 2, 3})
+	if !strings.HasPrefix(got, "2.0 ±") {
+		t.Errorf("famCount replicated = %q, want \"2.0 ±<w>\"", got)
 	}
 }

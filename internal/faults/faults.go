@@ -71,13 +71,6 @@ type Event struct {
 // time order; Apply sorts them (stably) by time before scheduling.
 type Schedule []Event
 
-// Plan is the historical name of a crash-only Schedule.
-//
-// Deprecated: use Schedule. Every in-repo caller has been migrated; the
-// alias remains for compatibility and is exercised only by its own
-// regression tests.
-type Plan = Schedule
-
 // CrashAt appends a crash, returning the extended schedule.
 func (s Schedule) CrashAt(id ident.ID, at time.Duration) Schedule {
 	return append(s, Event{At: at, Kind: KindCrash, ID: id})

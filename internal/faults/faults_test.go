@@ -40,13 +40,6 @@ func TestScheduleBuilders(t *testing.T) {
 	}
 }
 
-func TestPlanAliasStillBuilds(t *testing.T) {
-	p := Plan{}.CrashAt(1, time.Second).CrashAt(2, 2*time.Second)
-	if len(p) != 2 || p[0].ID != 1 || p[1].At != 2*time.Second {
-		t.Errorf("plan = %+v", p)
-	}
-}
-
 func TestUniformSpreadsAndDistinct(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	candidates := []ident.ID{0, 1, 2, 3, 4, 5, 6, 7}

@@ -10,9 +10,8 @@
 // In the repository README's architecture map this is the "asynchronous
 // network model" layer: internal/faults schedules Crash/Recover/Partition/
 // Heal events against it, and every internal/exp cluster sends through it.
-// Scenario-driven connectivity changes should use the composable
-// AddLinkFilter/RemoveLinkFilter stack or the first-class Partition/Heal;
-// SetLinkFilter is the deprecated single-slot predecessor.
+// Scenario-driven connectivity changes use the composable
+// AddLinkFilter/RemoveLinkFilter stack or the first-class Partition/Heal.
 package netsim
 
 import (
@@ -68,9 +67,6 @@ type Network struct {
 	// every installed filter passes.
 	filters   []linkFilterEntry
 	nextToken int
-	// legacyToken identifies the filter installed through the deprecated
-	// SetLinkFilter, which replaces rather than composes.
-	legacyToken int
 	// partitions holds the tokens of active Partition filters, most recent
 	// last; Heal pops them LIFO.
 	partitions []int
@@ -172,24 +168,6 @@ func (n *Network) RemoveLinkFilter(token int) bool {
 		}
 	}
 	return false
-}
-
-// SetLinkFilter installs f as the run's single transmission veto, replacing
-// any filter previously installed through SetLinkFilter (nil just removes
-// it). Filters added with AddLinkFilter or Partition are unaffected.
-//
-// Deprecated: use AddLinkFilter/RemoveLinkFilter, which compose instead of
-// overwriting each other. Every in-repo caller has been migrated; the
-// method remains for compatibility and is exercised only by its own
-// regression tests.
-func (n *Network) SetLinkFilter(f func(from, to ident.ID, now time.Duration) bool) {
-	if n.legacyToken != 0 {
-		n.RemoveLinkFilter(n.legacyToken)
-		n.legacyToken = 0
-	}
-	if f != nil {
-		n.legacyToken = n.AddLinkFilter(f)
-	}
 }
 
 // Partition splits the cluster into islands: a message is dropped unless its

@@ -144,7 +144,7 @@ func TestDropRate(t *testing.T) {
 
 func TestLinkFilter(t *testing.T) {
 	sim, net, boxes, envs := newNet(t, 1, 3, Constant{})
-	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
+	net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
 		return !(from == 0 && to == 2) // sever 0→2 only
 	})
 	envs[0].Send(1, "a")
@@ -191,30 +191,6 @@ func TestAddLinkFiltersCompose(t *testing.T) {
 		t.Error("RemoveLinkFilter = true for already-removed token")
 	}
 	_ = t2
-}
-
-func TestSetLinkFilterReplacesOnlyItself(t *testing.T) {
-	sim, net, boxes, envs := newNet(t, 1, 3, Constant{})
-	net.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
-		return !(from == 0 && to == 2) // composable filter, must survive
-	})
-	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool { return false })
-	net.SetLinkFilter(func(from, to ident.ID, _ time.Duration) bool { return true }) // replaces the block-all
-	envs[0].Send(1, "a")
-	envs[0].Send(2, "b")
-	sim.Run()
-	if len(boxes[1].got) != 1 {
-		t.Error("second SetLinkFilter did not replace the first")
-	}
-	if len(boxes[2].got) != 0 {
-		t.Error("SetLinkFilter clobbered an AddLinkFilter entry")
-	}
-	net.SetLinkFilter(nil)
-	envs[0].Send(1, "c")
-	sim.Run()
-	if len(boxes[1].got) != 2 {
-		t.Error("SetLinkFilter(nil) did not clear the legacy filter")
-	}
 }
 
 func TestPartitionAndHeal(t *testing.T) {

@@ -164,6 +164,70 @@ func TestSummarizeGolden(t *testing.T) {
 	}
 }
 
+// TestSummarizeGoldenNewMetricFamilies pins Summarize/Percentile against
+// hand-computed golden values on sample shapes matching the newly sampled
+// v2 metric families (PR 4): an E7 decision-latency family, an E3
+// mistake-duration family, and an E8 propagation-spread family whose R=5
+// values carry ties.
+func TestSummarizeGoldenNewMetricFamilies(t *testing.T) {
+	// decision_ms-shaped family: {2012.0, 2049.5, 1998.0, 2103.0, 2020.5}.
+	// Sum = 10183, mean = 2036.6; squared deviations sum = 6929.7 →
+	// sample variance 1732.425, stderr √(1732.425/5) = 18.61411…;
+	// t(4) = 2.776 → ci95 = 51.67278…; sorted {1998, 2012, 2020.5,
+	// 2049.5, 2103}: p50 = 2020.5, p99 = 2049.5 + 0.96×53.5 = 2100.86.
+	dec := Summarize([]float64{2012.0, 2049.5, 1998.0, 2103.0, 2020.5})
+	if dec.N != 5 || dec.Min != 1998.0 || dec.Max != 2103.0 {
+		t.Fatalf("decision family N/Min/Max = %d/%v/%v", dec.N, dec.Min, dec.Max)
+	}
+	if !close(dec.Mean, 2036.6, 1e-9) {
+		t.Errorf("decision mean = %v, want 2036.6", dec.Mean)
+	}
+	if !close(dec.StdErr, math.Sqrt(1732.425/5), 1e-9) {
+		t.Errorf("decision stderr = %v, want %v", dec.StdErr, math.Sqrt(1732.425/5))
+	}
+	if !close(dec.CI95, 2.776*math.Sqrt(1732.425/5), 1e-9) {
+		t.Errorf("decision ci95 = %v", dec.CI95)
+	}
+	if !close(dec.P50, 2020.5, 1e-12) || !close(dec.P99, 2100.86, 1e-9) {
+		t.Errorf("decision p50/p99 = %v/%v, want 2020.5/2100.86", dec.P50, dec.P99)
+	}
+
+	// mistake_dur_ms-shaped family: {12.0, 14.5, 13.2, 15.1, 12.9}.
+	// Mean 13.54; squared deviations sum = 6.252 → variance 1.563,
+	// stderr √(1.563/5) = 0.5591064…, ci95 = 2.776 × stderr.
+	dur := Summarize([]float64{12.0, 14.5, 13.2, 15.1, 12.9})
+	if !close(dur.Mean, 13.54, 1e-12) {
+		t.Errorf("duration mean = %v, want 13.54", dur.Mean)
+	}
+	if !close(dur.StdErr, math.Sqrt(1.563/5), 1e-9) {
+		t.Errorf("duration stderr = %v, want %v", dur.StdErr, math.Sqrt(1.563/5))
+	}
+	if !close(dur.CI95, 2.776*math.Sqrt(1.563/5), 1e-9) {
+		t.Errorf("duration ci95 = %v", dur.CI95)
+	}
+	if !close(dur.P50, 13.2, 1e-12) {
+		t.Errorf("duration p50 = %v, want 13.2", dur.P50)
+	}
+
+	// spread_ms-shaped family with ties: {40, 40, 55, 55, 70}: mean 52,
+	// p50 = 55 (middle order statistic), p25 = 40 (tie interpolates to
+	// itself), p99 = 55 + 0.96×15 = 69.4.
+	spread := []float64{55, 40, 70, 40, 55} // unsorted: order must not matter
+	sum := Summarize(spread)
+	if !close(sum.Mean, 52, 1e-12) || !close(sum.P50, 55, 1e-12) {
+		t.Errorf("spread mean/p50 = %v/%v, want 52/55", sum.Mean, sum.P50)
+	}
+	if got := Percentile(spread, 0.25); !close(got, 40, 1e-12) {
+		t.Errorf("spread p25 = %v, want 40 (tie)", got)
+	}
+	if !close(sum.P99, 69.4, 1e-9) {
+		t.Errorf("spread p99 = %v, want 69.4", sum.P99)
+	}
+	if sum.Min != 40 || sum.Max != 70 {
+		t.Errorf("spread min/max = %v/%v", sum.Min, sum.Max)
+	}
+}
+
 // TestCollectorDeterministicRows: rows must not depend on sample arrival
 // order — only on (cell, metric, rep).
 func TestCollectorDeterministicRows(t *testing.T) {

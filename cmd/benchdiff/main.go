@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchdiff [-slack F] [-throughput-threshold F] [-quiet] OLD.json NEW.json
+//	benchdiff [-slack F] [-throughput-threshold F] [-quiet] [-update] OLD.json NEW.json
 //
 // OLD is the baseline (e.g. the committed BENCH_quick_ci.json), NEW the
 // candidate (e.g. a freshly generated report on the same flags). Exit
@@ -50,6 +50,16 @@
 //
 // Mismatched quick/seed flags between the reports make means incomparable;
 // benchdiff warns on stderr but still runs the comparison.
+//
+// # Blessing changes (-update)
+//
+// -update regenerates the golden baseline in place: after printing the
+// comparison, the candidate report's bytes replace OLD.json verbatim and
+// the exit status is 0 whatever the diff said — the flag exists precisely
+// to bless intended regressions (or an enlarged row set) when a PR changes
+// engine behavior on purpose. The copy is byte-exact, so an immediately
+// following `benchdiff OLD.json NEW.json` is guaranteed clean — the
+// round-trip a unit test enforces.
 package main
 
 import (
@@ -262,6 +272,7 @@ func run(args []string, out io.Writer) ([]string, error) {
 	slack := fs.Float64("slack", 0, "extra allowed drift on v2 rows, as a fraction of the baseline mean, added to the ci95 half-width")
 	throughput := fs.Float64("throughput-threshold", 0.25, "allowed relative worsening of v1 throughput fields (0.25 = 25%)")
 	quiet := fs.Bool("quiet", false, "suppress improvement/addition/info lines; print regressions only")
+	update := fs.Bool("update", false, "after comparing, regenerate the baseline in place: overwrite OLD.json with the candidate's bytes and exit 0 (bless the changes)")
 	fs.Usage = func() {
 		fmt.Fprintf(out, "usage: benchdiff [flags] OLD.json NEW.json\n\ncompares two asyncfd-bench reports (see 'go doc ./cmd/benchdiff')\nflags:\n")
 		fs.PrintDefaults()
@@ -310,6 +321,20 @@ func run(args []string, out io.Writer) ([]string, error) {
 	}
 	fmt.Fprintf(out, "benchdiff: %d regressions, %d improvements, %d rows compared, %d rows added\n",
 		len(d.regressions), len(d.improvements), d.compared, d.additions)
+	if *update {
+		// Byte-exact copy: the blessed baseline IS the candidate report, so
+		// re-diffing the pair immediately afterwards is clean by construction.
+		raw, err := os.ReadFile(fs.Arg(1))
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(fs.Arg(0), raw, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "benchdiff: baseline %s regenerated from %s (%d regressions blessed)\n",
+			fs.Arg(0), fs.Arg(1), len(d.regressions))
+		return nil, nil
+	}
 	return d.regressions, nil
 }
 

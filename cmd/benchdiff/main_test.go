@@ -217,3 +217,57 @@ func TestUsageAndInputErrors(t *testing.T) {
 		t.Error("non-bench JSON accepted")
 	}
 }
+
+// TestUpdateRoundTrip: -update must regenerate the baseline in place from
+// the candidate — byte-exactly — so update→diff round-trips clean even when
+// the pre-update comparison was a hard regression.
+func TestUpdateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", v2Report(12.5, 0))
+	newPath := writeReport(t, dir, "new.json", v2Report(14.0, 0.8))
+
+	// Sanity: without -update this pair is a regression.
+	var out strings.Builder
+	regressions, err := run([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 {
+		t.Fatalf("pre-update regressions = %v, want 1", regressions)
+	}
+
+	// -update blesses it: exit-clean (no regressions returned) and the
+	// baseline file now carries the candidate's bytes verbatim.
+	out.Reset()
+	regressions, err = run([]string{"-update", oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("-update returned regressions %v, want none (blessed)", regressions)
+	}
+	if !strings.Contains(out.String(), "regenerated") {
+		t.Errorf("-update did not report the regeneration:\n%s", out.String())
+	}
+	oldRaw, err := os.ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRaw, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(oldRaw) != string(newRaw) {
+		t.Fatal("-update did not copy the candidate byte-exactly")
+	}
+
+	// Round trip: diffing the updated baseline against the candidate is clean.
+	out.Reset()
+	regressions, err = run([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Errorf("post-update diff not clean: %v\n%s", regressions, out.String())
+	}
+}

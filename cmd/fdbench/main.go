@@ -5,15 +5,26 @@
 //
 // Usage:
 //
-//	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5] [-quick]
+//	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5|comma-list] [-quick]
 //	        [-seed N] [-repeat R] [-parallel N] [-ci] [-json FILE]
+//	        [-queue ladder|heap]
 //
 // Row kinds: ids E1–E8 are the reconstructed paper-family tables, A1/A2 the
 // ablations, R1/R2 the fault-scenario sweeps (crash-recovery and
 // partition/heal), X1/X2 the partial-connectivity extensions, and L1/L5 the
 // large-machine-size sweeps (E1's detection time and E5's message cost at
 // n=128/256; quick mode shrinks them to one small size like every other
-// table).
+// table). -exp also accepts a comma-separated list ("L1,L5"), run in the
+// given order with one combined report — the nightly bench gate uses this.
+//
+// -queue selects the DES kernel's timing-queue implementation: "ladder"
+// (the calendar/ladder queue, default) or "heap" (the binary-heap
+// reference). The DES_QUEUE environment variable is the escape hatch when
+// the flag is not given. Every experiment is byte-identical under either
+// queue at any -parallel — the differential harness in internal/des and
+// internal/exp enforces it, and CI compares full fdbench runs both ways —
+// so the knob exists for benchmarking and for bisecting kernel issues, not
+// for changing results. See docs/BENCHMARKS.md, "The kernel event queue".
 //
 // -parallel sizes the worker pool experiment cells run on: 1 = serial
 // (default), N > 1 = that many workers, 0 or negative = one worker per CPU.
@@ -107,6 +118,7 @@ import (
 	"strings"
 	"time"
 
+	"asyncfd/internal/des"
 	"asyncfd/internal/exp"
 	"asyncfd/internal/stats"
 )
@@ -175,13 +187,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
-	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2, L1, L5) or 'all'")
+	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2, L1, L5), a comma-separated list, or 'all'")
 	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
 	seed := fs.Int64("seed", 1, "base random seed")
 	repeat := fs.Int("repeat", 0, "seed-family size R per cell (0 = default: 1 with -quick, 3 otherwise)")
 	parallel := fs.Int("parallel", 1, "worker pool size; 0 or negative = one worker per CPU")
 	ciFlag := fs.Bool("ci", false, "collect per-cell seed-family distributions; bumps the -json schema to asyncfd-bench/v2 (rows with mean/stderr/ci95/p50/p99 per metric)")
 	jsonPath := fs.String("json", "", "write a bench report (schema asyncfd-bench/v1, or v2 with -ci) to this file; '-' = stdout, tables suppressed")
+	queueFlag := fs.String("queue", "", "DES kernel timing queue: 'ladder' (default) or 'heap'; empty = $DES_QUEUE, then the kernel default. Results are byte-identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +203,17 @@ func run(args []string) error {
 	}
 	if *repeat < 0 {
 		return fmt.Errorf("-repeat must be ≥ 0, got %d", *repeat)
+	}
+	queueName := *queueFlag
+	if queueName == "" {
+		queueName = os.Getenv("DES_QUEUE")
+	}
+	if queueName != "" {
+		kind, ok := des.ParseQueueKind(queueName)
+		if !ok {
+			return fmt.Errorf("unknown queue %q (want 'ladder' or 'heap')", queueName)
+		}
+		des.SetDefaultQueue(kind)
 	}
 	opts := exp.Options{Seed: *seed, Quick: *quickFlag, Parallel: *parallel, Repeat: *repeat}
 	if *ciFlag {
@@ -224,34 +248,44 @@ func run(args []string) error {
 		report.WallNS = time.Since(t0).Nanoseconds()
 		results = all
 	} else {
-		found := false
-		for _, e := range exp.Experiments() {
-			if !strings.EqualFold(e.ID, *expID) {
-				continue
+		// One experiment, or a comma-separated list run in the given order
+		// (the nightly gate runs "-exp L1,L5" for one combined report).
+		for _, id := range strings.Split(*expID, ",") {
+			id = strings.TrimSpace(id)
+			found := false
+			for _, e := range exp.Experiments() {
+				if !strings.EqualFold(e.ID, id) {
+					continue
+				}
+				found = true
+				engineStats := &exp.EngineStats{}
+				eOpts := opts
+				eOpts.Stats = engineStats
+				if opts.Samples != nil {
+					// A private collector per experiment keeps each Result's
+					// rows scoped to it, as in the pooled sweep.
+					eOpts.Samples = &stats.Collector{}
+				}
+				t0 := time.Now()
+				tbl, err := e.Fn(eOpts)
+				if err != nil {
+					return fmt.Errorf("experiment %s: %w", e.ID, err)
+				}
+				wall := time.Since(t0)
+				report.WallNS += wall.Nanoseconds()
+				r := exp.Result{
+					ID: e.ID, Table: tbl, Wall: wall,
+					Events: engineStats.Events.Load(), Runs: engineStats.Runs.Load(),
+				}
+				if eOpts.Samples != nil {
+					r.Rows = eOpts.Samples.Rows()
+				}
+				results = append(results, r)
+				break
 			}
-			found = true
-			engineStats := &exp.EngineStats{}
-			eOpts := opts
-			eOpts.Stats = engineStats
-			t0 := time.Now()
-			tbl, err := e.Fn(eOpts)
-			if err != nil {
-				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			if !found {
+				return fmt.Errorf("unknown experiment %q", id)
 			}
-			wall := time.Since(t0)
-			report.WallNS = wall.Nanoseconds()
-			r := exp.Result{
-				ID: e.ID, Table: tbl, Wall: wall,
-				Events: engineStats.Events.Load(), Runs: engineStats.Runs.Load(),
-			}
-			if opts.Samples != nil {
-				r.Rows = opts.Samples.Rows()
-			}
-			results = []exp.Result{r}
-			break
-		}
-		if !found {
-			return fmt.Errorf("unknown experiment %q", *expID)
 		}
 	}
 

@@ -18,7 +18,9 @@ func TestRunErrorPaths(t *testing.T) {
 		want string // substring of the error
 	}{
 		{"unknown experiment", []string{"-quick", "-exp", "E99"}, "unknown experiment"},
+		{"unknown experiment in a list", []string{"-quick", "-exp", "E2,E99"}, "unknown experiment"},
 		{"negative repeat", []string{"-quick", "-repeat", "-2"}, "-repeat must be"},
+		{"unknown queue", []string{"-quick", "-exp", "E2", "-queue", "wheel"}, "unknown queue"},
 		{"unwritable json target", []string{"-quick", "-exp", "E2", "-json", filepath.Join(t.TempDir(), "no-such-dir", "out.json")}, "no-such-dir"},
 		{"json target is a directory", []string{"-quick", "-exp", "E2", "-json", t.TempDir()}, "is a directory"},
 	}
@@ -76,5 +78,66 @@ func TestV2ReportAlwaysCarriesRepeat(t *testing.T) {
 	}
 	if _, ok := v1["repeat"]; ok {
 		t.Error(`v1 report must not carry a "repeat" field`)
+	}
+}
+
+// readExperiments runs fdbench with args plus a -json target and returns
+// the report's experiment entries.
+func readExperiments(t *testing.T, args []string) []map[string]any {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(append(args, "-json", path)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiments []map[string]any `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Experiments
+}
+
+// TestExpCommaList checks a comma-separated -exp runs every named
+// experiment in order with one combined report — the shape the nightly
+// non-quick gate relies on ("-exp L1,L5").
+func TestExpCommaList(t *testing.T) {
+	exps := readExperiments(t, []string{"-quick", "-exp", "E2, E1", "-ci", "-repeat", "2"})
+	if len(exps) != 2 || exps[0]["id"] != "E2" || exps[1]["id"] != "E1" {
+		t.Fatalf("experiments = %v, want [E2 E1] in order", exps)
+	}
+	for _, e := range exps {
+		rows, ok := e["rows"].([]any)
+		if !ok || len(rows) == 0 {
+			t.Errorf("experiment %v carries no v2 rows in list mode", e["id"])
+		}
+	}
+}
+
+// TestQueueFlagByteIdentical is the CLI face of the differential harness:
+// the same invocation under -queue heap and -queue ladder must produce
+// byte-identical reports (modulo the machine-dependent timing fields, which
+// is why it compares experiments' rows, events and runs).
+func TestQueueFlagByteIdentical(t *testing.T) {
+	fingerprint := func(queue string) string {
+		exps := readExperiments(t, []string{"-quick", "-exp", "E1,E4", "-ci", "-repeat", "2", "-queue", queue})
+		var b strings.Builder
+		for _, e := range exps {
+			raw, err := json.Marshal(map[string]any{"id": e["id"], "events": e["events"], "runs": e["runs"], "rows": e["rows"]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(raw)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	heap, ladder := fingerprint("heap"), fingerprint("ladder")
+	if heap != ladder {
+		t.Errorf("heap and ladder reports differ:\nheap:   %s\nladder: %s", heap, ladder)
 	}
 }

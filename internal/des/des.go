@@ -10,14 +10,26 @@
 // The kernel is built for throughput: events live in a slab recycled through
 // a free list (no per-event heap allocation in steady state), same-instant
 // bursts drain through a FIFO ready bucket instead of churning the timing
-// heap, and message fan-outs can be scheduled as a single Batch node that
-// occupies one heap slot however many deliveries it carries.
+// structure, message fan-outs can be scheduled as a single Batch node that
+// occupies one queue slot however many deliveries it carries, and batch item
+// storage is recycled through a kernel-owned free pool so repeated
+// broadcasts stop allocating. Far-horizon ordering itself is pluggable
+// (queue.go): a calendar/ladder queue with amortized O(1) push/pop is the
+// default, and the original binary heap is kept as the reference
+// implementation a differential harness checks it against — see QueueKind,
+// WithQueue and SetDefaultQueue.
 package des
 
 import (
 	"math/rand"
 	"sort"
 	"time"
+)
+
+// Compile-time checks: both queue implementations satisfy the interface.
+var (
+	_ eventQueue = (*heapQueue)(nil)
+	_ eventQueue = (*ladderQueue)(nil)
 )
 
 // event is one kernel node: either a single closure or a whole batch
@@ -84,7 +96,15 @@ type Simulator struct {
 
 	events []event // slab; all event storage, recycled via free
 	free   []int32 // recycled slab slots
-	heap   []int32 // binary heap of slab indices keyed by (at, seq)
+
+	// queue orders far-horizon events by (at, seq); pluggable — see
+	// queue.go (binary-heap reference) and ladder.go (the default).
+	queue     eventQueue
+	queueKind QueueKind
+
+	// itemFree recycles the slices batch nodes carry their items in, so
+	// steady-state broadcast fan-outs reuse storage instead of allocating.
+	itemFree [][]batchItem
 
 	// fifo is the ready bucket: events scheduled for the current instant,
 	// drained in seq (FIFO) order without touching the heap. Entries are
@@ -98,10 +118,21 @@ type Simulator struct {
 	front int32
 }
 
-// New returns a simulator whose random source is seeded with seed.
-func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed)), front: noEvent}
+// New returns a simulator whose random source is seeded with seed. Options
+// tune kernel internals (e.g. WithQueue); event semantics and execution
+// order are identical whatever the options, so runs stay reproducible from
+// the seed alone.
+func New(seed int64, opts ...Option) *Simulator {
+	s := &Simulator{rng: rand.New(rand.NewSource(seed)), front: noEvent, queueKind: DefaultQueue()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.queue = newEventQueue(s.queueKind, s)
+	return s
 }
+
+// Queue reports which timing-queue implementation this simulator runs on.
+func (s *Simulator) Queue() QueueKind { return s.queueKind }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -129,14 +160,36 @@ func (s *Simulator) alloc() int32 {
 }
 
 // release recycles a slab slot; the gen bump invalidates outstanding Timers.
+// Batch item slices go back to the kernel-owned free pool (cleared first so
+// captured closures are released promptly).
 func (s *Simulator) release(i int32) {
 	e := &s.events[i]
 	e.fn = nil
-	e.items = nil
+	if e.items != nil {
+		items := e.items
+		for k := range items {
+			items[k] = batchItem{}
+		}
+		s.itemFree = append(s.itemFree, items[:0])
+		e.items = nil
+	}
 	e.head = 0
 	e.stopped = false
 	e.gen++
 	s.free = append(s.free, i)
+}
+
+// takeItems pops a batch item slice of length n from the free pool, falling
+// back to allocation when the pool is empty or its top entry is too small.
+func (s *Simulator) takeItems(n int) []batchItem {
+	if k := len(s.itemFree); k > 0 {
+		b := s.itemFree[k-1]
+		s.itemFree = s.itemFree[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]batchItem, n)
 }
 
 // After schedules fn to run d from now. Negative delays are clamped to zero:
@@ -162,7 +215,7 @@ func (s *Simulator) At(t time.Duration, fn func()) *Timer {
 	if t == s.now {
 		s.fifo = append(s.fifo, i) // seq is monotonic, so fifo stays sorted
 	} else {
-		s.heapPush(i)
+		s.queue.push(i)
 	}
 	return &Timer{s: s, idx: i, gen: e.gen}
 }
@@ -183,7 +236,7 @@ func (s *Simulator) Batch(items []BatchItem) {
 		s.After(items[0].D, items[0].Fn)
 		return
 	}
-	bs := make([]batchItem, len(items))
+	bs := s.takeItems(len(items))
 	for k, it := range items {
 		at := s.now + it.D
 		if it.D < 0 || at < s.now { // negative or overflowing delays clamp to now, as in After
@@ -203,7 +256,7 @@ func (s *Simulator) Batch(items []BatchItem) {
 	if e.at == s.now {
 		s.fifo = append(s.fifo, i)
 	} else {
-		s.heapPush(i)
+		s.queue.push(i)
 	}
 }
 
@@ -214,46 +267,6 @@ func (s *Simulator) less(i, j int32) bool {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
-}
-
-func (s *Simulator) heapPush(i int32) {
-	s.heap = append(s.heap, i)
-	h := s.heap
-	k := len(h) - 1
-	for k > 0 {
-		p := (k - 1) / 2
-		if !s.less(h[k], h[p]) {
-			break
-		}
-		h[k], h[p] = h[p], h[k]
-		k = p
-	}
-}
-
-func (s *Simulator) heapPop() int32 {
-	h := s.heap
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	s.heap = h[:n]
-	h = s.heap
-	k := 0
-	for {
-		l := 2*k + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && s.less(h[r], h[l]) {
-			m = r
-		}
-		if !s.less(h[m], h[k]) {
-			break
-		}
-		h[k], h[m] = h[m], h[k]
-		k = m
-	}
-	return top
 }
 
 func (s *Simulator) fifoPeek() int32 {
@@ -274,25 +287,18 @@ func (s *Simulator) fifoPop() int32 {
 }
 
 // reapStoppedHeads reclaims stopped events sitting at the head of the fifo
-// bucket or the heap, so pop and peek always see a live minimum.
+// bucket or the timing queue, so pop and peek always see a live minimum.
 func (s *Simulator) reapStoppedHeads() {
 	for {
-		if f := s.fifoPeek(); f != noEvent && s.events[f].stopped {
-			s.fifoPop()
-			s.pending--
-			s.release(f)
-			continue
+		f := s.fifoPeek()
+		if f == noEvent || !s.events[f].stopped {
+			break
 		}
-		if len(s.heap) > 0 {
-			if h := s.heap[0]; s.events[h].stopped {
-				s.heapPop()
-				s.pending--
-				s.release(h)
-				continue
-			}
-		}
-		return
+		s.fifoPop()
+		s.pending--
+		s.release(f)
 	}
+	s.queue.reap()
 }
 
 // popMin removes and returns the live event with the smallest (at, seq) key,
@@ -305,16 +311,17 @@ func (s *Simulator) popMin() int32 {
 	}
 	s.reapStoppedHeads()
 	f := s.fifoPeek()
-	if len(s.heap) == 0 {
+	q := s.queue.peekMin()
+	if q == noEvent {
 		if f == noEvent {
 			return noEvent
 		}
 		return s.fifoPop()
 	}
-	if f != noEvent && s.less(f, s.heap[0]) {
+	if f != noEvent && s.less(f, q) {
 		return s.fifoPop()
 	}
-	return s.heapPop()
+	return s.queue.popMin()
 }
 
 // peekAt reports the fire time of the earliest live event.
@@ -324,8 +331,8 @@ func (s *Simulator) peekAt() (time.Duration, bool) {
 	}
 	s.reapStoppedHeads()
 	best := s.fifoPeek()
-	if len(s.heap) > 0 && (best == noEvent || s.less(s.heap[0], best)) {
-		best = s.heap[0]
+	if q := s.queue.peekMin(); q != noEvent && (best == noEvent || s.less(q, best)) {
+		best = q
 	}
 	if best == noEvent {
 		return 0, false
@@ -359,7 +366,7 @@ func (s *Simulator) Step() bool {
 			if e.at == s.now && s.front == noEvent {
 				s.front = i
 			} else {
-				s.heapPush(i)
+				s.queue.push(i)
 			}
 		} else {
 			s.release(i)

@@ -1,0 +1,191 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fuzz_test.go is the kernel-level half of the queue differential harness:
+// a byte-coded script drives an identical workload of After/At/Stop/Step/
+// RunUntil/Batch calls against a heap-backed and a ladder-backed simulator
+// and asserts the two are observationally identical — same fire order, same
+// Now()/Steps()/Pending() at every checkpoint. The committed seed corpus
+// (testdata/fuzz/FuzzQueueEquivalence) covers the regression-prone shapes:
+// same-instant ties, stopped-head reaping, far-horizon timers and batch
+// fan-outs. CI runs the target with a short -fuzztime budget on every push.
+
+// queueScriptTrace is everything observable about one script run.
+type queueScriptTrace struct {
+	fires  []string // "id@now" per executed callback, in order
+	marks  []string // "now/steps/pending" checkpoint after each control op
+	events uint64
+	now    time.Duration
+	pend   int
+}
+
+// runQueueScript interprets data as an op stream against a fresh simulator
+// on the given queue. The interpretation is fully deterministic in data, so
+// two runs on different queues see byte-for-byte the same workload.
+func runQueueScript(kind QueueKind, data []byte) queueScriptTrace {
+	s := New(1, WithQueue(kind))
+	var tr queueScriptTrace
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	next16 := func() time.Duration {
+		return time.Duration(int(next())<<8 | int(next()))
+	}
+	var timers []*Timer
+	eventID := 0
+	var mk func() func()
+	mk = func() func() {
+		id := eventID
+		eventID++
+		return func() {
+			tr.fires = append(tr.fires, fmt.Sprintf("%d@%d", id, s.Now()))
+			// A sparse, deterministic fraction of callbacks schedules nested
+			// work (same rule on both queues); the id cap bounds the chain.
+			if id%7 == 3 && eventID < 4096 {
+				s.After(time.Duration(id%5)*time.Microsecond, mk())
+			}
+		}
+	}
+	mark := func() {
+		tr.marks = append(tr.marks, fmt.Sprintf("%d/%d/%d", s.Now(), s.Steps(), s.Pending()))
+	}
+	for pos < len(data) && eventID < 4096 {
+		switch next() % 8 {
+		case 0, 1: // near-horizon After, µs scale: the dense common case
+			s.After(next16()*time.Microsecond, mk())
+		case 2: // absolute At, including already-passed instants (clamped)
+			timers = append(timers, s.At(s.Now()+next16()*time.Microsecond-32*time.Millisecond, mk()))
+		case 3: // far-horizon After, up to ~18.6h (65535ms << 10): deep
+			// ladder top-list accumulation and epoch re-spawns
+			s.After(next16()*time.Millisecond<<(next()%11), mk())
+		case 4: // Stop a previously returned timer
+			if len(timers) > 0 {
+				timers[int(next())%len(timers)].Stop()
+			}
+		case 5:
+			s.Step()
+			mark()
+		case 6:
+			s.RunUntil(s.Now() + next16()*time.Microsecond)
+			mark()
+		case 7: // batch fan-out with same-instant and spread items
+			k := int(next())%6 + 2
+			items := make([]BatchItem, k)
+			for j := 0; j < k; j++ {
+				items[j] = BatchItem{D: time.Duration(next()%8) * 500 * time.Microsecond, Fn: mk()}
+			}
+			s.Batch(items)
+		}
+		if next()%4 == 0 { // sprinkle timers eligible for Stop
+			timers = append(timers, s.After(next16()*time.Microsecond, mk()))
+		}
+	}
+	mark()
+	// Drain to completion with a safety cap (the nested-scheduling rule is
+	// subcritical, but a fuzz harness should never be able to hang).
+	for i := 0; i < 1_000_000 && s.Step(); i++ {
+	}
+	tr.events = s.Steps()
+	tr.now = s.Now()
+	tr.pend = s.Pending()
+	return tr
+}
+
+// assertQueueTracesEqual fails t on the first observable divergence.
+func assertQueueTracesEqual(t *testing.T, data []byte) {
+	t.Helper()
+	h := runQueueScript(QueueHeap, data)
+	l := runQueueScript(QueueLadder, data)
+	if h.events != l.events || h.now != l.now || h.pend != l.pend {
+		t.Fatalf("final state diverged: heap steps=%d now=%v pending=%d, ladder steps=%d now=%v pending=%d",
+			h.events, h.now, h.pend, l.events, l.now, l.pend)
+	}
+	if len(h.fires) != len(l.fires) {
+		t.Fatalf("fire counts diverged: heap %d, ladder %d", len(h.fires), len(l.fires))
+	}
+	for i := range h.fires {
+		if h.fires[i] != l.fires[i] {
+			t.Fatalf("fire order diverged at %d: heap %s, ladder %s", i, h.fires[i], l.fires[i])
+		}
+	}
+	if len(h.marks) != len(l.marks) {
+		t.Fatalf("checkpoint counts diverged: heap %d, ladder %d", len(h.marks), len(l.marks))
+	}
+	for i := range h.marks {
+		if h.marks[i] != l.marks[i] {
+			t.Fatalf("checkpoint %d diverged (now/steps/pending): heap %s, ladder %s", i, h.marks[i], l.marks[i])
+		}
+	}
+}
+
+// FuzzQueueEquivalence drives random interleavings of After/At/Stop/Step/
+// RunUntil/Batch against the heap and ladder queues and asserts identical
+// observable behavior. Seeds mirror the committed corpus.
+func FuzzQueueEquivalence(f *testing.F) {
+	for _, seed := range queueScriptSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		assertQueueTracesEqual(t, data)
+	})
+}
+
+// queueScriptSeeds are hand-built op streams covering the shapes the queue
+// swap is most likely to break on; they are also committed as the fuzz seed
+// corpus under testdata/fuzz/FuzzQueueEquivalence.
+func queueScriptSeeds() [][]byte {
+	return [][]byte{
+		// same-instant ties: a burst of zero-delay Afters and batches
+		{0, 0, 0, 1, 1, 0, 0, 2, 0, 0, 0, 3, 7, 4, 0, 0, 0, 0, 0, 0, 0, 0, 5, 1},
+		// stopped-head reaping: schedule, stop, step
+		{0, 1, 0, 0, 4, 0, 1, 4, 1, 1, 5, 2, 4, 0, 3, 5, 1, 6, 255, 255, 0},
+		// far-horizon timers interleaved with near ones
+		{3, 255, 255, 3, 0, 0, 16, 1, 3, 127, 0, 2, 6, 8, 0, 0, 3, 1, 1, 1, 5, 0},
+		// batch fan-outs crossing RunUntil boundaries
+		{7, 5, 0, 1, 2, 3, 4, 5, 6, 6, 16, 0, 0, 7, 3, 7, 7, 7, 1, 5, 0, 5, 0},
+		// mixed soup exercising every opcode
+		{0, 10, 0, 1, 2, 200, 10, 2, 3, 9, 9, 3, 1, 4, 0, 0, 5, 3, 6, 4, 4, 2,
+			7, 2, 1, 2, 3, 0, 4, 250, 128, 1, 5, 2, 6, 0, 64, 3, 2, 2, 2},
+	}
+}
+
+// TestQueueDifferential replays the seed corpus plus quick-generated random
+// scripts without needing -fuzz, so `go test` alone exercises the kernel
+// differential harness on every run.
+func TestQueueDifferential(t *testing.T) {
+	for i, seed := range queueScriptSeeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) { assertQueueTracesEqual(t, seed) })
+	}
+	f := func(data []byte) bool {
+		h := runQueueScript(QueueHeap, data)
+		l := runQueueScript(QueueLadder, data)
+		if h.events != l.events || h.now != l.now || h.pend != l.pend || len(h.fires) != len(l.fires) {
+			return false
+		}
+		for i := range h.fires {
+			if h.fires[i] != l.fires[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -71,6 +71,11 @@ type Network struct {
 	// last; Heal pops them LIFO.
 	partitions []int
 	stats      Stats
+	// bcast is the broadcast fan-out scratch buffer, reused across
+	// Broadcast calls (Batch reads it synchronously, and the kernel pools
+	// the per-node item storage itself), so steady-state gossip stops
+	// allocating one slice per broadcast.
+	bcast []des.BatchItem
 }
 
 // New builds a network on sim.
@@ -298,7 +303,7 @@ func (e *Env) Broadcast(payload any) {
 		return
 	}
 	neighbors := n.Neighbors(e.id)
-	items := make([]des.BatchItem, 0, neighbors.Len())
+	items := n.bcast[:0]
 	from := e.id
 	neighbors.ForEach(func(to ident.ID) bool {
 		delay, ok := n.admit(from, to, payload)
@@ -309,4 +314,10 @@ func (e *Env) Broadcast(payload any) {
 		return true
 	})
 	n.sim.Batch(items)
+	// Batch copied everything it needs; clear the scratch so the payload
+	// and delivery closures are not pinned until the next broadcast.
+	for k := range items {
+		items[k] = des.BatchItem{}
+	}
+	n.bcast = items[:0]
 }

@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5|comma-list] [-quick]
+//	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5|LT|comma-list] [-quick]
 //	        [-seed N] [-repeat R] [-parallel N] [-ci] [-json FILE]
 //	        [-queue ladder|heap]
 //
 // Row kinds: ids E1–E8 are the reconstructed paper-family tables, A1/A2 the
 // ablations, R1/R2 the fault-scenario sweeps (crash-recovery and
-// partition/heal), X1/X2 the partial-connectivity extensions, and L1/L5 the
+// partition/heal), X1/X2 the partial-connectivity extensions, L1/L5 the
 // large-machine-size sweeps (E1's detection time and E5's message cost at
-// n=128/256; quick mode shrinks them to one small size like every other
-// table). -exp also accepts a comma-separated list ("L1,L5"), run in the
-// given order with one combined report — the nightly bench gate uses this.
+// n=128/256) and LT the topology sweep (neighbor-local detection and
+// per-process traffic on ring/grid/scale-free/MANET graphs at
+// n=1024/2048/4096, tractable thanks to netsim's sparse delivery and the
+// streaming qos Judge; quick mode shrinks the large sweeps to one small
+// size like every other table). -exp also accepts a comma-separated list
+// ("L1,L5,LT"), run in the given order with one combined report — the
+// nightly bench gate uses this.
 //
 // -queue selects the DES kernel's timing-queue implementation: "ladder"
 // (the calendar/ladder queue, default) or "heap" (the binary-heap
@@ -92,8 +96,9 @@
 // (det_avg_ms/det_max_ms, mistake_rate, query_accuracy per window), R1
 // (det1/restore/det2 and storm per detector×state-mode), R2 (storm,
 // reconverge_ms, clean per detector), X1 (det_avg_ms/det_max_ms per
-// density×variant), and X2 (peak_false_susp, false_susp_total per mobility
-// variant). Rows are sorted by cell then metric and are byte-identical at
+// density×variant), X2 (peak_false_susp, false_susp_total per mobility
+// variant), and LT (det_avg_ms/det_max_ms, avg_degree, msgs_per_proc_s,
+// bytes_per_proc_s per topology×n). Rows are sorted by cell then metric and are byte-identical at
 // any -parallel value (regression-tested), so v2 reports diff cleanly. A
 // family of R < 2 seeds has stderr = ci95 = 0 — run with -repeat 5 (or
 // more) for meaningful intervals.
@@ -187,7 +192,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
-	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2, L1, L5), a comma-separated list, or 'all'")
+	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2, L1, L5, LT), a comma-separated list, or 'all'")
 	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
 	seed := fs.Int64("seed", 1, "base random seed")
 	repeat := fs.Int("repeat", 0, "seed-family size R per cell (0 = default: 1 with -quick, 3 otherwise)")
@@ -249,7 +254,7 @@ func run(args []string) error {
 		results = all
 	} else {
 		// One experiment, or a comma-separated list run in the given order
-		// (the nightly gate runs "-exp L1,L5" for one combined report).
+		// (the nightly gate runs "-exp L1,L5,LT" for one combined report).
 		for _, id := range strings.Split(*expID, ",") {
 			id = strings.TrimSpace(id)
 			found := false

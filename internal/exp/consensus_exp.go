@@ -172,6 +172,7 @@ func Experiments() []NamedExperiment {
 		{"X2", X2MobilityExt},
 		{"L1", L1DetectionLargeN},
 		{"L5", L5MessageCostLargeN},
+		{"LT", LTTopologySweep},
 	}
 }
 

@@ -261,11 +261,11 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 				opts.record(c.Sim)
 				observers := c.Members.Clone()
 				observers.Remove(ident.ID(n - 1))
-				m := qos.Mistakes(c.Log, truth, c.Members, horizon)
+				judge := qos.JudgeFrom(c.Log) // one trace pass for all three metrics
 				return e2run{
-					stats: qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers),
-					rate:  m.Rate,
-					pa:    qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+					stats: judge.DetectionTimes(truth, ident.ID(n-1), observers),
+					rate:  judge.Mistakes(truth, c.Members, horizon).Rate,
+					pa:    judge.QueryAccuracy(truth, c.Members, horizon),
 				}, nil
 			})
 		}
@@ -439,9 +439,10 @@ func E4QoS(opts Options) (*Table, error) {
 					c.RunUntil(horizon)
 					opts.record(c.Sim)
 					truth := &qos.GroundTruth{}
+					judge := qos.JudgeFrom(c.Log)
 					return e4cell{
-						mist: qos.Mistakes(c.Log, truth, c.Members, horizon),
-						pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+						mist: judge.Mistakes(truth, c.Members, horizon),
+						pa:   judge.QueryAccuracy(truth, c.Members, horizon),
 					}, nil
 				})
 			}
@@ -867,11 +868,11 @@ func A2WindowAblation(opts Options) (*Table, error) {
 				opts.record(c.Sim)
 				observers := c.Members.Clone()
 				observers.Remove(ident.ID(n - 1))
-				mist := qos.Mistakes(c.Log, truth, c.Members, horizon)
+				judge := qos.JudgeFrom(c.Log)
 				return a2cell{
-					det:  qos.DetectionTimes(c.Log, truth, ident.ID(n-1), observers),
-					rate: mist.Rate,
-					pa:   qos.QueryAccuracy(c.Log, truth, c.Members, horizon),
+					det:  judge.DetectionTimes(truth, ident.ID(n-1), observers),
+					rate: judge.Mistakes(truth, c.Members, horizon).Rate,
+					pa:   judge.QueryAccuracy(truth, c.Members, horizon),
 				}, nil
 			})
 		}

@@ -16,7 +16,7 @@ import (
 // at any worker-pool size. CI additionally runs the same comparison through
 // the fdbench binary (DES_QUEUE escape hatch); see .github/workflows/ci.yml.
 
-// sweepFingerprint renders the entire quick sweep — all 16 experiments'
+// sweepFingerprint renders the entire quick sweep — all 17 experiments'
 // tables plus their v2 rows — into one byte string under the given queue
 // implementation and worker-pool size.
 func sweepFingerprint(t *testing.T, kind des.QueueKind, parallel int) string {

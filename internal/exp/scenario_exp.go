@@ -73,11 +73,12 @@ func R1CrashRecovery(opts Options) (*Table, error) {
 					opts.record(c.Sim)
 					observers := c.Members.Clone()
 					observers.Remove(victim)
+					judge := qos.JudgeFrom(c.Log) // one trace pass for all four metrics
 					return r1cell{
-						det1:    qos.RedetectionTimes(c.Log, truth, victim, observers, 0),
-						restore: qos.TrustRestorationTimes(c.Log, truth, victim, observers, 0),
-						det2:    qos.RedetectionTimes(c.Log, truth, victim, observers, 1),
-						storm:   qos.MistakeStorm(c.Log, truth, c.Members, recoverAt, crash2),
+						det1:    judge.RedetectionTimes(truth, victim, observers, 0),
+						restore: judge.TrustRestorationTimes(truth, victim, observers, 0),
+						det2:    judge.RedetectionTimes(truth, victim, observers, 1),
+						storm:   judge.MistakeStorm(truth, c.Members, recoverAt, crash2),
 					}, nil
 				})
 			}
@@ -174,9 +175,10 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 					HealAt(healAt))
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
-				settle, clean := qos.Reconvergence(c.Log, truth, c.Members, healAt)
+				judge := qos.JudgeFrom(c.Log)
+				settle, clean := judge.Reconvergence(truth, c.Members, healAt)
 				return r2cell{
-					storm:  qos.MistakeStorm(c.Log, truth, c.Members, splitAt, healAt),
+					storm:  judge.MistakeStorm(truth, c.Members, splitAt, healAt),
 					settle: settle,
 					clean:  clean,
 				}, nil

@@ -12,6 +12,24 @@
 // Heal events against it, and every internal/exp cluster sends through it.
 // Scenario-driven connectivity changes use the composable
 // AddLinkFilter/RemoveLinkFilter stack or the first-class Partition/Heal.
+//
+// # Sparse delivery
+//
+// The send path is built so per-message cost depends on the sender's
+// connectivity degree, never on the cluster size n — the property that
+// makes the n=1024–4096 topology sweeps (experiment LT) tractable:
+//
+//   - Broadcast fans out over a precomputed per-node neighbor list, rebuilt
+//     lazily only when the topology epoch changes (AddNode/SetNeighbors).
+//     No full-mesh ident.Set is ever materialized per message.
+//   - Partition membership is an O(1) array lookup: each Partition event
+//     opens a new epoch whose composite island labels (one int32 per
+//     process, folding in every partition below it on the stack) are
+//     computed once, so admitting a message compares two integers instead
+//     of walking a closure stack.
+//   - Timers armed by an already-crashed process are dropped at arm time
+//     (the callback is suppressed at fire time anyway), so long downtimes
+//     no longer fill the kernel queue with dead weight.
 package netsim
 
 import (
@@ -39,12 +57,13 @@ type Config struct {
 type Stats struct {
 	Sent      int64 // messages handed to the network
 	Delivered int64 // messages delivered to a live process
-	Dropped   int64 // lost to DropRate or the link filter
+	Dropped   int64 // lost to DropRate, the link filter or a partition
 	Bytes     int64 // wire bytes sent (only if Config.SizeOf set)
 }
 
 // LinkFilter vetoes transmissions at send time: return false to drop the
-// message. Filters model disconnection, mobility and partitions.
+// message. Filters model disconnection and mobility; filters run before the
+// partition check.
 type LinkFilter func(from, to ident.ID, now time.Duration) bool
 
 // linkFilterEntry is one installed filter with its removal token.
@@ -53,23 +72,57 @@ type linkFilterEntry struct {
 	f     LinkFilter
 }
 
+// partitionLayer is one epoch of the partition stack. labels[id] is the
+// composite island label of process id: it folds in the island assignment of
+// every partition at or below this layer, so two processes may communicate
+// iff their labels in the TOP layer are equal — one O(1) comparison per
+// message however deep the stack. Processes outside the labels array (ids
+// unknown when the layer was built) share the implicit label.
+type partitionLayer struct {
+	labels   []int32
+	implicit int32
+}
+
+func (p *partitionLayer) label(id ident.ID) int32 {
+	if id >= 0 && int(id) < len(p.labels) {
+		return p.labels[id]
+	}
+	return p.implicit
+}
+
+// fanoutEntry is one node's cached broadcast fan-out list (ascending ID
+// order, self excluded), valid for the topology epoch it was built at.
+type fanoutEntry struct {
+	epoch uint64
+	ids   []ident.ID
+}
+
 // Network is the simulated medium. All methods must be called from the
 // simulation goroutine (i.e., inside DES events or before the run starts).
 type Network struct {
-	sim      *des.Simulator
-	cfg      Config
-	handlers map[ident.ID]node.Handler
+	sim *des.Simulator
+	cfg Config
+	// handlers is a dense slab indexed by ID (nil = unregistered); process
+	// identities are small dense integers, so a slice beats a map on every
+	// delivery lookup.
+	handlers []node.Handler
 	crashed  ident.Set
 	// neighbors, when non-nil for an id, restricts that id's broadcasts
 	// and sends to the given set (extension topologies). nil = full mesh.
 	neighbors map[ident.ID]ident.Set
+	// topoEpoch stamps the current topology generation; AddNode and
+	// SetNeighbors bump it, invalidating every cached fan-out list.
+	topoEpoch uint64
+	// fanout caches per-node broadcast fan-out lists, rebuilt lazily when
+	// their epoch stamp is stale.
+	fanout []fanoutEntry
 	// filters is the composable veto stack: a message is admitted only if
 	// every installed filter passes.
 	filters   []linkFilterEntry
 	nextToken int
-	// partitions holds the tokens of active Partition filters, most recent
-	// last; Heal pops them LIFO.
-	partitions []int
+	// partitions is the LIFO stack of partition epochs; only the top layer
+	// is consulted per message (its labels are composite).
+	partitions []partitionLayer
 	stats      Stats
 	// bcast is the broadcast fan-out scratch buffer, reused across
 	// Broadcast calls (Batch reads it synchronously, and the kernel pools
@@ -84,25 +137,38 @@ func New(sim *des.Simulator, cfg Config) *Network {
 		panic("netsim: Config.Delay is required")
 	}
 	return &Network{
-		sim:      sim,
-		cfg:      cfg,
-		handlers: make(map[ident.ID]node.Handler),
+		sim:       sim,
+		cfg:       cfg,
+		topoEpoch: 1,
 	}
+}
+
+// registered reports whether id has a handler.
+func (n *Network) registered(id ident.ID) bool {
+	return id >= 0 && int(id) < len(n.handlers) && n.handlers[id] != nil
 }
 
 // AddNode registers a process and returns its environment. Registering the
 // same id twice panics: it is a programming error in experiment setup.
 func (n *Network) AddNode(id ident.ID, h node.Handler) *Env {
-	if _, dup := n.handlers[id]; dup {
+	if !id.Valid() {
+		panic(fmt.Sprintf("netsim: invalid node id %v", id))
+	}
+	if n.registered(id) {
 		panic(fmt.Sprintf("netsim: duplicate node %v", id))
 	}
+	for int(id) >= len(n.handlers) {
+		n.handlers = append(n.handlers, nil)
+		n.fanout = append(n.fanout, fanoutEntry{})
+	}
 	n.handlers[id] = h
+	n.topoEpoch++ // full-mesh fan-out lists must now include id
 	return &Env{net: n, id: id}
 }
 
 // Env returns the environment bound to id (which must be registered).
 func (n *Network) Env(id ident.ID) *Env {
-	if _, ok := n.handlers[id]; !ok {
+	if !n.registered(id) {
 		panic(fmt.Sprintf("netsim: unknown node %v", id))
 	}
 	return &Env{net: n, id: id}
@@ -110,9 +176,11 @@ func (n *Network) Env(id ident.ID) *Env {
 
 // Nodes returns the registered process identities.
 func (n *Network) Nodes() ident.Set {
-	var s ident.Set
-	for id := range n.handlers {
-		s.Add(id)
+	s := ident.NewSet(len(n.handlers))
+	for i, h := range n.handlers {
+		if h != nil {
+			s.Add(ident.ID(i))
+		}
 	}
 	return s
 }
@@ -124,8 +192,9 @@ func (n *Network) Crash(id ident.ID) { n.crashed.Add(id) }
 
 // Recover reverses a Crash: id sends, receives and fires newly armed timers
 // again. Timers that came due while the process was down stay suppressed
-// (the callback was dropped at fire time); reviving the process's protocol
-// activity is the detector runtime's job (fd.Restartable).
+// (armed-while-down timers were dropped at arm time, armed-before-the-crash
+// ones at fire time); reviving the process's protocol activity is the
+// detector runtime's job (fd.Restartable).
 func (n *Network) Recover(id ident.ID) { n.crashed.Remove(id) }
 
 // Crashed reports whether id is currently crashed.
@@ -139,6 +208,7 @@ func (n *Network) SetNeighbors(id ident.ID, neighbors ident.Set) {
 		n.neighbors = make(map[ident.ID]ident.Set)
 	}
 	n.neighbors[id] = neighbors.Clone()
+	n.topoEpoch++
 }
 
 // Neighbors returns the broadcast set for id: its configured neighborhood,
@@ -152,6 +222,34 @@ func (n *Network) Neighbors(id ident.ID) ident.Set {
 	out := n.Nodes()
 	out.Remove(id)
 	return out
+}
+
+// fanoutFor returns id's broadcast fan-out list (ascending ID order, self
+// excluded), rebuilding the cached copy if the topology changed since it was
+// built. Unregistered neighbor ids stay in the list — sending to them counts
+// as traffic and delivers to nobody, exactly as an explicit Send would.
+func (n *Network) fanoutFor(id ident.ID) []ident.ID {
+	fe := &n.fanout[id]
+	if fe.epoch == n.topoEpoch {
+		return fe.ids
+	}
+	ids := fe.ids[:0]
+	if nb, ok := n.neighbors[id]; ok {
+		nb.ForEach(func(to ident.ID) bool {
+			if to != id {
+				ids = append(ids, to)
+			}
+			return true
+		})
+	} else {
+		for i, h := range n.handlers {
+			if h != nil && ident.ID(i) != id {
+				ids = append(ids, ident.ID(i))
+			}
+		}
+	}
+	fe.ids, fe.epoch = ids, n.topoEpoch
+	return ids
 }
 
 // AddLinkFilter pushes f onto the veto stack and returns a token for
@@ -180,18 +278,66 @@ func (n *Network) RemoveLinkFilter(token int) bool {
 // together form one implicit extra island, so Partition([]ident.ID{a, b})
 // cuts {a, b} off from everyone else with one call. Partitions stack — a
 // second Partition further constrains the first — and Heal removes the most
-// recent one.
+// recent one. Listing a process in two islands (or twice at all) panics: it
+// is a programming error in scenario setup, and silently letting the last
+// listing win would corrupt the island semantics.
+//
+// Each call opens a new partition epoch: composite island labels folding in
+// every active layer are computed once here, so the per-message check is a
+// single array lookup per endpoint (see partitionLayer).
 func (n *Network) Partition(islands ...[]ident.ID) {
-	member := make(map[ident.ID]int)
+	member := make(map[ident.ID]int32)
+	size := len(n.handlers)
 	for i, island := range islands {
 		for _, id := range island {
-			member[id] = i + 1 // 0 is the implicit island of unlisted processes
+			if !id.Valid() {
+				continue
+			}
+			if _, dup := member[id]; dup {
+				panic(fmt.Sprintf("netsim: process %v listed in two islands", id))
+			}
+			member[id] = int32(i + 1) // 0 is the implicit island of unlisted processes
+			if int(id) >= size {
+				size = int(id) + 1
+			}
 		}
 	}
-	token := n.AddLinkFilter(func(from, to ident.ID, _ time.Duration) bool {
-		return member[from] == member[to]
-	})
-	n.partitions = append(n.partitions, token)
+	var prev *partitionLayer
+	if k := len(n.partitions); k > 0 {
+		prev = &n.partitions[k-1]
+		if len(prev.labels) > size {
+			size = len(prev.labels)
+		}
+	}
+	prevLabel := func(id ident.ID) int32 {
+		if prev != nil {
+			return prev.label(id)
+		}
+		return 0
+	}
+	prevImplicit := int32(0)
+	if prev != nil {
+		prevImplicit = prev.implicit
+	}
+	// Composite label = dense renumbering of the (label below, island here)
+	// pair, so equality in this layer ⇔ equality in every layer.
+	type combo struct{ below, island int32 }
+	dict := make(map[combo]int32)
+	next := int32(0)
+	assign := func(c combo) int32 {
+		if v, ok := dict[c]; ok {
+			return v
+		}
+		dict[c] = next
+		next++
+		return dict[c]
+	}
+	layer := partitionLayer{labels: make([]int32, size)}
+	for i := 0; i < size; i++ {
+		layer.labels[i] = assign(combo{prevLabel(ident.ID(i)), member[ident.ID(i)]})
+	}
+	layer.implicit = assign(combo{prevImplicit, 0})
+	n.partitions = append(n.partitions, layer)
 }
 
 // Heal removes the most recently installed partition, reporting whether one
@@ -201,9 +347,8 @@ func (n *Network) Heal() bool {
 	if k == 0 {
 		return false
 	}
-	token := n.partitions[k-1]
 	n.partitions = n.partitions[:k-1]
-	return n.RemoveLinkFilter(token)
+	return true
 }
 
 // Partitioned reports whether any partition is active.
@@ -231,7 +376,8 @@ func (n *Network) send(from, to ident.ID, payload any) {
 }
 
 // admit runs the send-time checks shared by unicast and broadcast — stats,
-// link filter, loss — and samples the link delay for an admitted message.
+// link filters, the partition label check, loss — and samples the link delay
+// for an admitted message.
 func (n *Network) admit(from, to ident.ID, payload any) (time.Duration, bool) {
 	now := n.sim.Now()
 	n.stats.Sent++
@@ -240,6 +386,13 @@ func (n *Network) admit(from, to ident.ID, payload any) (time.Duration, bool) {
 	}
 	for _, e := range n.filters {
 		if !e.f(from, to, now) {
+			n.stats.Dropped++
+			return 0, false
+		}
+	}
+	if k := len(n.partitions); k > 0 {
+		p := &n.partitions[k-1]
+		if p.label(from) != p.label(to) {
 			n.stats.Dropped++
 			return 0, false
 		}
@@ -253,15 +406,11 @@ func (n *Network) admit(from, to ident.ID, payload any) (time.Duration, bool) {
 
 // deliver hands payload to the destination process, if it is still alive.
 func (n *Network) deliver(from, to ident.ID, payload any) {
-	if n.crashed.Has(to) {
-		return
-	}
-	h, ok := n.handlers[to]
-	if !ok {
+	if n.crashed.Has(to) || !n.registered(to) {
 		return
 	}
 	n.stats.Delivered++
-	h.Deliver(from, payload)
+	n.handlers[to].Deliver(from, payload)
 }
 
 // Env binds one process identity to the network; it implements node.Env.
@@ -272,17 +421,31 @@ type Env struct {
 
 var _ node.Env = (*Env)(nil)
 
+// deadTimer is the handle returned for timers dropped at arm time (armed by
+// an already-crashed process): never pending, Stop always false.
+type deadTimer struct{}
+
+func (deadTimer) Stop() bool { return false }
+
 // Self implements node.Env.
 func (e *Env) Self() ident.ID { return e.id }
 
 // Now implements node.Env.
 func (e *Env) Now() time.Duration { return e.net.sim.Now() }
 
-// After implements node.Env. The callback is suppressed if the process has
-// crashed by the time it fires.
+// After implements node.Env. A timer armed while the process is crashed is
+// dropped immediately — its callback would be suppressed at fire time anyway
+// (a crashed process executes nothing that could outlive a recovery), so
+// scheduling it would only queue dead weight in the kernel for the length of
+// the downtime. The callback of a live-armed timer is still suppressed if
+// the process has crashed by the time it fires.
 func (e *Env) After(d time.Duration, fn func()) node.Timer {
-	return e.net.sim.After(d, func() {
-		if e.net.crashed.Has(e.id) {
+	net := e.net
+	if net.crashed.Has(e.id) {
+		return deadTimer{}
+	}
+	return net.sim.After(d, func() {
+		if net.crashed.Has(e.id) {
 			return
 		}
 		fn()
@@ -293,26 +456,25 @@ func (e *Env) After(d time.Duration, fn func()) node.Timer {
 func (e *Env) Send(to ident.ID, payload any) { e.net.send(e.id, to, payload) }
 
 // Broadcast implements node.Env: one message per neighbor, each with an
-// independent delay (models per-link radio/unicast fan-out). The whole
-// fan-out is handed to the kernel as a single batch node — one scheduling
-// operation instead of one heap insertion per neighbor — with delivery
-// order identical to per-neighbor sends.
+// independent delay (models per-link radio/unicast fan-out). The fan-out
+// iterates the sender's precomputed neighbor list — cost proportional to its
+// degree, not to n — and is handed to the kernel as a single batch node: one
+// scheduling operation instead of one heap insertion per neighbor, with
+// delivery order identical to per-neighbor sends.
 func (e *Env) Broadcast(payload any) {
 	n := e.net
 	if n.crashed.Has(e.id) {
 		return
 	}
-	neighbors := n.Neighbors(e.id)
 	items := n.bcast[:0]
 	from := e.id
-	neighbors.ForEach(func(to ident.ID) bool {
+	for _, to := range n.fanoutFor(from) {
 		delay, ok := n.admit(from, to, payload)
 		if !ok {
-			return true
+			continue
 		}
 		items = append(items, des.BatchItem{D: delay, Fn: func() { n.deliver(from, to, payload) }})
-		return true
-	})
+	}
 	n.sim.Batch(items)
 	// Batch copied everything it needs; clear the scratch so the payload
 	// and delivery closures are not pinned until the next broadcast.

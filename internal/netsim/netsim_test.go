@@ -361,6 +361,139 @@ func TestEnvAfterTimerStop(t *testing.T) {
 	}
 }
 
+func TestDeadTimerDroppedAtArm(t *testing.T) {
+	// Timers armed by an already-crashed process must not reach the kernel
+	// queue: long downtimes otherwise accumulate dead events (queue
+	// pressure), even though the callbacks are suppressed at fire time.
+	sim, net, _, envs := newNet(t, 1, 2, Constant{})
+	net.Crash(1)
+	before := sim.Pending()
+	fired := false
+	var timers []node.Timer
+	for i := 0; i < 1000; i++ {
+		timers = append(timers, envs[1].After(time.Hour, func() { fired = true }))
+	}
+	if got := sim.Pending(); got != before {
+		t.Fatalf("Pending = %d after arming dead timers, want %d", got, before)
+	}
+	for _, tm := range timers {
+		if tm.Stop() {
+			t.Fatal("Stop = true on a dead timer")
+		}
+	}
+	sim.Run()
+	if fired {
+		t.Error("dead timer fired")
+	}
+}
+
+func TestDeadTimersDoNotPerturbTrace(t *testing.T) {
+	// Arming timers while crashed must leave the simulation's observable
+	// trace byte-identical to a run that never armed them: the RNG stream,
+	// delivery times and step count cannot shift.
+	run := func(armDeadTimers bool) ([]time.Duration, uint64) {
+		sim := des.New(42)
+		net := New(sim, Config{Delay: Exponential{Min: time.Millisecond, Mean: 5 * time.Millisecond}, DropRate: 0.1})
+		var tr []time.Duration
+		for i := 0; i < 4; i++ {
+			net.AddNode(ident.ID(i), node.HandlerFunc(func(ident.ID, any) { tr = append(tr, sim.Now()) }))
+		}
+		net.Crash(3)
+		if armDeadTimers {
+			for i := 0; i < 100; i++ {
+				net.Env(3).After(time.Duration(i)*time.Millisecond, func() {})
+			}
+		}
+		for round := 0; round < 3; round++ {
+			at := time.Duration(round) * 10 * time.Millisecond
+			sim.At(at, func() {
+				for i := 0; i < 3; i++ {
+					net.Env(ident.ID(i)).Broadcast(round)
+				}
+			})
+		}
+		sim.Run()
+		return tr, sim.Steps()
+	}
+	gotTr, gotSteps := run(true)
+	wantTr, wantSteps := run(false)
+	if gotSteps != wantSteps {
+		t.Errorf("Steps = %d with dead timers, %d without", gotSteps, wantSteps)
+	}
+	if len(gotTr) != len(wantTr) {
+		t.Fatalf("trace length %d vs %d", len(gotTr), len(wantTr))
+	}
+	for i := range gotTr {
+		if gotTr[i] != wantTr[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, gotTr[i], wantTr[i])
+		}
+	}
+}
+
+func TestPartitionDuplicateIslandPanics(t *testing.T) {
+	_, net, _, _ := newNet(t, 1, 4, Constant{})
+	defer func() {
+		if recover() == nil {
+			t.Error("process in two islands did not panic")
+		}
+	}()
+	net.Partition([]ident.ID{0, 1}, []ident.ID{1, 2})
+}
+
+func TestPartitionDuplicateWithinIslandPanics(t *testing.T) {
+	_, net, _, _ := newNet(t, 1, 4, Constant{})
+	defer func() {
+		if recover() == nil {
+			t.Error("process listed twice in one island did not panic")
+		}
+	}()
+	net.Partition([]ident.ID{0, 0})
+}
+
+func TestPartitionCoversLateNodes(t *testing.T) {
+	// A node registered after the partition was installed belongs to the
+	// implicit island, like any process the partition did not list.
+	sim, net, _, _ := newNet(t, 1, 3, Constant{})
+	net.Partition([]ident.ID{0})
+	late := &inbox{sim: sim}
+	net.AddNode(7, late)
+	net.Env(0).Send(7, "cross")  // 0 is alone in its island
+	net.Env(1).Send(7, "within") // 1 and 7 share the implicit island
+	sim.Run()
+	if len(late.got) != 1 || late.got[0].payload != "within" {
+		t.Errorf("late node deliveries = %+v, want only the implicit-island message", late.got)
+	}
+}
+
+func TestBroadcastFanoutTracksTopologyChanges(t *testing.T) {
+	// The cached fan-out lists must be invalidated by SetNeighbors and by
+	// AddNode (the full-mesh fan-out grows with the membership).
+	sim, net, boxes, envs := newNet(t, 1, 3, Constant{})
+	envs[0].Broadcast("a") // caches 0's full-mesh fan-out {1, 2}
+	late := &inbox{sim: sim}
+	net.AddNode(3, late)
+	envs[0].Broadcast("b")
+	sim.Run()
+	if len(late.got) != 1 {
+		t.Errorf("node added after a broadcast got %d messages, want 1", len(late.got))
+	}
+	net.SetNeighbors(0, ident.SetOf(2))
+	envs[0].Broadcast("c")
+	sim.Run()
+	if len(boxes[1].got) != 2 {
+		t.Errorf("node 1 got %d messages, want 2 (excluded by SetNeighbors)", len(boxes[1].got))
+	}
+	if len(boxes[2].got) != 3 {
+		t.Errorf("node 2 got %d messages, want 3", len(boxes[2].got))
+	}
+	net.SetNeighbors(0, ident.SetOf(1, 2))
+	envs[0].Broadcast("d")
+	sim.Run()
+	if len(boxes[1].got) != 3 {
+		t.Errorf("node 1 got %d messages after re-adding, want 3", len(boxes[1].got))
+	}
+}
+
 // --- Delay model tests ---
 
 func TestConstantDelay(t *testing.T) {

@@ -1,0 +1,384 @@
+package qos
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/trace"
+)
+
+// pairKey packs an (observer, subject) pair into one map key.
+type pairKey uint64
+
+func key(observer, subject ident.ID) pairKey {
+	return pairKey(uint64(uint32(observer))<<32 | uint64(uint32(subject)))
+}
+
+// Judge turns a suspicion trace into QoS metrics with a single accumulator
+// pass. It ingests trace.Events once — either all at once from a recorded
+// log (JudgeFrom) or streamed during the run (it implements fd.SuspicionSink,
+// so it can replace or tee a trace.Log as a detector's sink) — and builds a
+// flat sparse index of suspicion episodes per (observer, subject) pair. Every
+// metric is then a finalizer over that index: one O(E log E) sort amortized
+// over all metrics of a run, instead of the pre-refactor one-sort-plus-
+// O(pairs·E)-rescan per metric call.
+//
+// Metrics may be queried at any time; ingesting further events after a query
+// simply rebuilds the index on the next query. Results are byte-identical to
+// the original per-metric implementations (enforced by the differential
+// tests in this package and internal/exp).
+type Judge struct {
+	mu     sync.Mutex
+	events []trace.Event
+	sorted bool // events are known to be in non-decreasing At order
+	dirty  bool // events changed since the index was built
+
+	// index maps each observed (observer, subject) pair to its suspicion
+	// episodes in time order; open ⇔ last episode has end == -1.
+	index map[pairKey][]episode
+}
+
+var _ fd.SuspicionSink = (*Judge)(nil)
+
+// NewJudge returns an empty Judge ready for streaming ingestion.
+func NewJudge() *Judge {
+	return &Judge{sorted: true}
+}
+
+// JudgeFrom snapshots a recorded log into a new Judge.
+func JudgeFrom(log *trace.Log) *Judge {
+	return &Judge{events: log.Events(), dirty: true}
+}
+
+// OnSuspicion implements fd.SuspicionSink: one suspicion transition streamed
+// in during the run. Safe for concurrent use.
+func (j *Judge) OnSuspicion(at time.Duration, observer, subject ident.ID, suspected bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.sorted && len(j.events) > 0 && at < j.events[len(j.events)-1].At {
+		j.sorted = false
+	}
+	j.events = append(j.events, trace.Event{At: at, Observer: observer, Subject: subject, Suspected: suspected})
+	j.dirty = true
+}
+
+// Ingest appends recorded events (tests, synthetic traces).
+func (j *Judge) Ingest(events ...trace.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range events {
+		if j.sorted && len(j.events) > 0 && e.At < j.events[len(j.events)-1].At {
+			j.sorted = false
+		}
+		j.events = append(j.events, e)
+	}
+	j.dirty = true
+}
+
+// build sorts the buffered events (stable, by At — identical to the legacy
+// sortedEvents) and folds them into the per-pair episode index in one pass,
+// replicating the legacy episodes() state machine per pair.
+func (j *Judge) build() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.dirty && j.index != nil {
+		return
+	}
+	if !j.sorted {
+		sort.SliceStable(j.events, func(a, b int) bool { return j.events[a].At < j.events[b].At })
+		j.sorted = true
+	}
+	j.index = make(map[pairKey][]episode)
+	for _, e := range j.events {
+		k := key(e.Observer, e.Subject)
+		eps := j.index[k]
+		open := len(eps) > 0 && eps[len(eps)-1].end == -1
+		if e.Suspected {
+			if !open {
+				j.index[k] = append(eps, episode{start: e.At, end: -1})
+			}
+		} else if open {
+			eps[len(eps)-1].end = e.At
+		}
+	}
+	j.dirty = false
+}
+
+// pairEpisodes returns the suspicion episodes of (observer, subject) in time
+// order, building the index if needed.
+func (j *Judge) pairEpisodes(observer, subject ident.ID) []episode {
+	j.build()
+	return j.index[key(observer, subject)]
+}
+
+// DetectionTimes measures, for a subject that crashed, the time from the
+// crash until each observer's *permanent* suspicion (the suspicion episode
+// that never ends). Observers already suspecting the subject when it crashed
+// count as detection time zero.
+func (j *Judge) DetectionTimes(truth *GroundTruth, subject ident.ID, observers ident.Set) DetectionStats {
+	crashAt, ok := truth.CrashTime(subject)
+	if !ok {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	j.build()
+	var acc detAccum
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		eps := j.index[key(obs, subject)]
+		if len(eps) == 0 || eps[len(eps)-1].end != -1 {
+			acc.miss()
+			return true
+		}
+		det := eps[len(eps)-1].start - crashAt
+		if det < 0 {
+			det = 0 // suspected since before the crash
+		}
+		acc.add(det)
+		return true
+	})
+	return acc.result()
+}
+
+// Mistakes scans all (observer, subject) pairs among members and counts
+// suspicion episodes of subjects that had not crashed when the episode
+// began.
+func (j *Judge) Mistakes(truth *GroundTruth, members ident.Set, horizon time.Duration) MistakeStats {
+	j.build()
+	var stats MistakeStats
+	var total time.Duration
+	pairs := 0
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			pairs++
+			for _, ep := range j.index[key(obs, subj)] {
+				if truth.CrashedBy(subj, ep.start) {
+					continue // true suspicion
+				}
+				if ep.end == -1 {
+					// Open at the cut: a mistake only if the subject is up
+					// at the cut (otherwise it became a true detection).
+					if !truth.DownAt(subj, horizon) {
+						stats.Unresolved++
+					}
+					continue
+				}
+				stats.Count++
+				d := ep.end - ep.start
+				total += d
+				if d > stats.MaxDuration {
+					stats.MaxDuration = d
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if stats.Count > 0 {
+		stats.AvgDuration = total / time.Duration(stats.Count)
+	}
+	if pairs > 0 && horizon > 0 {
+		stats.Rate = float64(stats.Count) / float64(pairs) / horizon.Seconds()
+	}
+	return stats
+}
+
+// QueryAccuracy returns P_A: the probability that a random query about a
+// random correct process at a random time in [0, horizon] is answered
+// correctly (not suspected). Computed as 1 − (aggregate wrongful-suspicion
+// time) / (correct-pair count × horizon). Pairs involving a process that
+// crashes at any point are excluded entirely, as in the crash-stop metric
+// definition; accuracy around recoveries is covered by the dedicated
+// recovery metrics (TrustRestorationTimes, Reconvergence, MistakeStorm).
+func (j *Judge) QueryAccuracy(truth *GroundTruth, members ident.Set, horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 1
+	}
+	j.build()
+	var wrongful time.Duration
+	pairs := 0
+	members.ForEach(func(obs ident.ID) bool {
+		if truth.Crashed(obs) {
+			return true // crashed observers stop being queried; skip
+		}
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj || truth.Crashed(subj) {
+				return true
+			}
+			pairs++
+			for _, ep := range j.index[key(obs, subj)] {
+				end := ep.end
+				if end == -1 || end > horizon {
+					end = horizon
+				}
+				if end > ep.start {
+					wrongful += end - ep.start
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if pairs == 0 {
+		return 1
+	}
+	frac := float64(wrongful) / (float64(pairs) * float64(horizon))
+	return 1 - frac
+}
+
+// RedetectionTimes measures detection of the subject's k-th downtime (k is a
+// 0-based index into truth.Intervals(subject)): the time from the crash
+// until each observer's first suspicion episode that begins inside the
+// interval; an episode already open when the crash hit counts as detection
+// time zero. Observers with no such episode count as Missing — for a closed
+// interval that means the crash went unnoticed before the process came back.
+// With k = 0 on a crash-stop record this generalizes DetectionTimes, except
+// that the detecting episode need not be permanent (a recovered process is
+// legitimately un-suspected later).
+func (j *Judge) RedetectionTimes(truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
+	ivs := truth.Intervals(subject)
+	if k < 0 || k >= len(ivs) {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	iv := ivs[k]
+	j.build()
+	var acc detAccum
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		det := time.Duration(-1)
+		for _, ep := range j.index[key(obs, subject)] {
+			if ep.start <= iv.Start && (ep.end == -1 || ep.end > iv.Start) {
+				det = 0 // suspected since before the crash
+				break
+			}
+			if ep.start >= iv.Start && (iv.Open() || ep.start < iv.End) {
+				det = ep.start - iv.Start
+				break
+			}
+		}
+		if det < 0 {
+			acc.miss()
+			return true
+		}
+		acc.add(det)
+		return true
+	})
+	return acc.result()
+}
+
+// TrustRestorationTimes measures, after the subject's k-th downtime ends,
+// how long the observers still suspecting it at the recovery instant take to
+// trust it again: the end of the suspicion episode covering the recovery,
+// minus the recovery time. Observers not suspecting the subject when it
+// recovered are not counted at all; observers whose episode never closes
+// count as Missing (the restarted process was never re-trusted within the
+// horizon). An open k-th interval (no recovery) reports every observer as
+// Missing.
+func (j *Judge) TrustRestorationTimes(truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
+	ivs := truth.Intervals(subject)
+	if k < 0 || k >= len(ivs) || ivs[k].Open() {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	r := ivs[k].End
+	j.build()
+	var acc detAccum
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		for _, ep := range j.index[key(obs, subject)] {
+			if ep.start > r {
+				break // not suspecting at the recovery instant
+			}
+			if ep.end != -1 && ep.end <= r {
+				continue
+			}
+			// Episode covers r.
+			if ep.end == -1 {
+				acc.miss()
+				return true
+			}
+			acc.add(ep.end - r)
+			return true
+		}
+		return true
+	})
+	return acc.result()
+}
+
+// Reconvergence measures the settle time after `from` (typically a heal or a
+// recovery): how long until the last wrongful suspicion among members is
+// corrected, and whether every one of them was (clean). A suspicion episode
+// counts when it is active at `from`, or begins after it while its subject
+// is up; the settle time is the largest episode end minus `from` — zero when
+// nothing was wrongfully suspected from `from` on. Episodes still open at
+// the end of the trace make the result unclean and do not extend the settle
+// time.
+func (j *Judge) Reconvergence(truth *GroundTruth, members ident.Set, from time.Duration) (settle time.Duration, clean bool) {
+	j.build()
+	clean = true
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			for _, ep := range j.index[key(obs, subj)] {
+				activeAt := ep.start
+				if activeAt < from {
+					if ep.end != -1 && ep.end <= from {
+						continue // over before `from`
+					}
+					activeAt = from
+				}
+				if truth.DownAt(subj, activeAt) {
+					continue // justified suspicion
+				}
+				if ep.end == -1 {
+					clean = false
+					continue
+				}
+				if d := ep.end - from; d > settle {
+					settle = d
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return settle, clean
+}
+
+// MistakeStorm counts the false-suspicion episodes that begin inside
+// [start, end) — the mistake burst a partition window or a restart provokes.
+// An episode is false when its subject is not down at the instant it begins.
+func (j *Judge) MistakeStorm(truth *GroundTruth, members ident.Set, start, end time.Duration) int {
+	j.build()
+	storm := 0
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			for _, ep := range j.index[key(obs, subj)] {
+				if ep.start < start || ep.start >= end {
+					continue
+				}
+				if !truth.DownAt(subj, ep.start) {
+					storm++
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return storm
+}

@@ -1,0 +1,283 @@
+package qos
+
+// The legacy* functions are the pre-Judge metric implementations: one stable
+// sort of the whole log plus an O(pairs·E) rescan per metric call. They are
+// kept verbatim as the reference side of the differential tests (this
+// package and internal/exp) that prove the streaming Judge byte-identical,
+// the same way internal/des keeps the binary heap as the ladder queue's
+// reference. They are not called from any production path.
+
+import (
+	"sort"
+	"time"
+
+	"asyncfd/internal/ident"
+	"asyncfd/internal/trace"
+)
+
+// episodes reconstructs the suspicion intervals of (observer, subject) by
+// scanning the full event slice — the rescan the Judge's index replaces.
+func episodes(events []trace.Event, observer, subject ident.ID) []episode {
+	var out []episode
+	open := -1
+	for _, e := range events {
+		if e.Observer != observer || e.Subject != subject {
+			continue
+		}
+		if e.Suspected {
+			if open == -1 {
+				out = append(out, episode{start: e.At, end: -1})
+				open = len(out) - 1
+			}
+		} else if open != -1 {
+			out[open].end = e.At
+			open = -1
+		}
+	}
+	return out
+}
+
+// sortedEvents returns the log's events in time order (stable).
+func sortedEvents(log *trace.Log) []trace.Event {
+	events := log.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// LegacyDetectionTimes is the pre-Judge DetectionTimes, kept as the
+// differential-test reference.
+func LegacyDetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set) DetectionStats {
+	crashAt, ok := truth.CrashTime(subject)
+	if !ok {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	events := sortedEvents(log)
+	var acc detAccum
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		eps := episodes(events, obs, subject)
+		if len(eps) == 0 || eps[len(eps)-1].end != -1 {
+			acc.miss()
+			return true
+		}
+		det := eps[len(eps)-1].start - crashAt
+		if det < 0 {
+			det = 0
+		}
+		acc.add(det)
+		return true
+	})
+	return acc.result()
+}
+
+// LegacyMistakes is the pre-Judge Mistakes, kept as the differential-test
+// reference.
+func LegacyMistakes(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) MistakeStats {
+	events := sortedEvents(log)
+	var stats MistakeStats
+	var total time.Duration
+	pairs := 0
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			pairs++
+			for _, ep := range episodes(events, obs, subj) {
+				if truth.CrashedBy(subj, ep.start) {
+					continue
+				}
+				if ep.end == -1 {
+					if !truth.DownAt(subj, horizon) {
+						stats.Unresolved++
+					}
+					continue
+				}
+				stats.Count++
+				d := ep.end - ep.start
+				total += d
+				if d > stats.MaxDuration {
+					stats.MaxDuration = d
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if stats.Count > 0 {
+		stats.AvgDuration = total / time.Duration(stats.Count)
+	}
+	if pairs > 0 && horizon > 0 {
+		stats.Rate = float64(stats.Count) / float64(pairs) / horizon.Seconds()
+	}
+	return stats
+}
+
+// LegacyQueryAccuracy is the pre-Judge QueryAccuracy, kept as the
+// differential-test reference.
+func LegacyQueryAccuracy(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 1
+	}
+	events := sortedEvents(log)
+	var wrongful time.Duration
+	pairs := 0
+	members.ForEach(func(obs ident.ID) bool {
+		if truth.Crashed(obs) {
+			return true
+		}
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj || truth.Crashed(subj) {
+				return true
+			}
+			pairs++
+			for _, ep := range episodes(events, obs, subj) {
+				end := ep.end
+				if end == -1 || end > horizon {
+					end = horizon
+				}
+				if end > ep.start {
+					wrongful += end - ep.start
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if pairs == 0 {
+		return 1
+	}
+	frac := float64(wrongful) / (float64(pairs) * float64(horizon))
+	return 1 - frac
+}
+
+// LegacyRedetectionTimes is the pre-Judge RedetectionTimes, kept as the
+// differential-test reference.
+func LegacyRedetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
+	ivs := truth.Intervals(subject)
+	if k < 0 || k >= len(ivs) {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	iv := ivs[k]
+	events := sortedEvents(log)
+	var acc detAccum
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		det := time.Duration(-1)
+		for _, ep := range episodes(events, obs, subject) {
+			if ep.start <= iv.Start && (ep.end == -1 || ep.end > iv.Start) {
+				det = 0
+				break
+			}
+			if ep.start >= iv.Start && (iv.Open() || ep.start < iv.End) {
+				det = ep.start - iv.Start
+				break
+			}
+		}
+		if det < 0 {
+			acc.miss()
+			return true
+		}
+		acc.add(det)
+		return true
+	})
+	return acc.result()
+}
+
+// LegacyTrustRestorationTimes is the pre-Judge TrustRestorationTimes, kept
+// as the differential-test reference.
+func LegacyTrustRestorationTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
+	ivs := truth.Intervals(subject)
+	if k < 0 || k >= len(ivs) || ivs[k].Open() {
+		return DetectionStats{Missing: observers.Len()}
+	}
+	r := ivs[k].End
+	events := sortedEvents(log)
+	var acc detAccum
+	observers.ForEach(func(obs ident.ID) bool {
+		if obs == subject {
+			return true
+		}
+		for _, ep := range episodes(events, obs, subject) {
+			if ep.start > r {
+				break
+			}
+			if ep.end != -1 && ep.end <= r {
+				continue
+			}
+			if ep.end == -1 {
+				acc.miss()
+				return true
+			}
+			acc.add(ep.end - r)
+			return true
+		}
+		return true
+	})
+	return acc.result()
+}
+
+// LegacyReconvergence is the pre-Judge Reconvergence, kept as the
+// differential-test reference.
+func LegacyReconvergence(log *trace.Log, truth *GroundTruth, members ident.Set, from time.Duration) (settle time.Duration, clean bool) {
+	events := sortedEvents(log)
+	clean = true
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			for _, ep := range episodes(events, obs, subj) {
+				activeAt := ep.start
+				if activeAt < from {
+					if ep.end != -1 && ep.end <= from {
+						continue
+					}
+					activeAt = from
+				}
+				if truth.DownAt(subj, activeAt) {
+					continue
+				}
+				if ep.end == -1 {
+					clean = false
+					continue
+				}
+				if d := ep.end - from; d > settle {
+					settle = d
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return settle, clean
+}
+
+// LegacyMistakeStorm is the pre-Judge MistakeStorm, kept as the
+// differential-test reference.
+func LegacyMistakeStorm(log *trace.Log, truth *GroundTruth, members ident.Set, start, end time.Duration) int {
+	events := sortedEvents(log)
+	storm := 0
+	members.ForEach(func(obs ident.ID) bool {
+		members.ForEach(func(subj ident.ID) bool {
+			if obs == subj {
+				return true
+			}
+			for _, ep := range episodes(events, obs, subj) {
+				if ep.start < start || ep.start >= end {
+					continue
+				}
+				if !truth.DownAt(subj, ep.start) {
+					storm++
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return storm
+}

@@ -8,6 +8,16 @@
 // partition-window mistake storms. The experiment harness reduces every
 // table of the reconstructed evaluation to these numbers.
 //
+// Metrics are computed by the streaming Judge: it ingests each trace.Event
+// once (snapshot via JudgeFrom, or live during the run as a SuspicionSink)
+// into a flat per-pair episode index, and every metric is a finalizer over
+// that one accumulator pass. The package-level metric functions are thin
+// wrappers that build a Judge per call; callers that need several metrics
+// from one trace — every sampled experiment does — should build one Judge
+// and query it repeatedly, which is what makes judging n=1024–4096 topology
+// cells tractable. Results are byte-identical to the pre-Judge sort+rescan
+// implementations (kept in legacy.go and enforced by differential tests).
+//
 // These are the per-run scalar metrics; across an R-seed family
 // (internal/exp Options.Repeat) they become the sampled distributions —
 // mean/stderr/ci95/percentiles — of the asyncfd-bench/v2 rows described
@@ -17,7 +27,7 @@
 package qos
 
 import (
-	"sort"
+	"fmt"
 	"time"
 
 	"asyncfd/internal/ident"
@@ -51,17 +61,26 @@ func (iv Interval) Covers(at time.Duration) bool {
 // crashed process; a crash-recovery run closes an interval at each recovery
 // and opens a new one at each later crash. Crash and Recover must be called
 // in non-decreasing time order per process (fault schedules are applied in
-// time order).
+// time order); out-of-order timestamps panic, since they would silently
+// record negative-length or overlapping downtime intervals and corrupt
+// every metric judged against them.
 type GroundTruth struct {
 	downs map[ident.ID][]Interval
 }
 
 // Crash records that id went down at time at, opening a downtime interval.
-// Crashing a process that is already down is a no-op.
+// Crashing a process that is already down is a no-op. A crash before the
+// process's previous recovery instant panics (the previous interval would
+// overlap this one); a crash exactly at the recovery instant is allowed and
+// opens a back-to-back interval.
 func (g *GroundTruth) Crash(id ident.ID, at time.Duration) {
 	ivs := g.downs[id]
-	if len(ivs) > 0 && ivs[len(ivs)-1].Open() {
-		return
+	if len(ivs) > 0 {
+		if last := ivs[len(ivs)-1]; last.Open() {
+			return
+		} else if at < last.End {
+			panic(fmt.Sprintf("qos: Crash(%v, %v) before previous recovery at %v", id, at, last.End))
+		}
 	}
 	if g.downs == nil {
 		g.downs = make(map[ident.ID][]Interval)
@@ -70,11 +89,17 @@ func (g *GroundTruth) Crash(id ident.ID, at time.Duration) {
 }
 
 // Recover records that id came back up at time at, closing its open
-// downtime interval. Recovering a process that is not down is a no-op.
+// downtime interval. Recovering a process that is not down is a no-op. A
+// recovery before the open interval's crash instant panics (it would record
+// a negative-length downtime); a recovery exactly at the crash instant is
+// allowed and closes the interval to zero length.
 func (g *GroundTruth) Recover(id ident.ID, at time.Duration) {
 	ivs := g.downs[id]
 	if len(ivs) == 0 || !ivs[len(ivs)-1].Open() {
 		return
+	}
+	if at < ivs[len(ivs)-1].Start {
+		panic(fmt.Sprintf("qos: Recover(%v, %v) before crash at %v", id, at, ivs[len(ivs)-1].Start))
 	}
 	ivs[len(ivs)-1].End = at
 }
@@ -183,64 +208,6 @@ type episode struct {
 	start, end time.Duration
 }
 
-// episodes reconstructs the suspicion intervals of (observer, subject).
-func episodes(events []trace.Event, observer, subject ident.ID) []episode {
-	var out []episode
-	open := -1
-	for _, e := range events {
-		if e.Observer != observer || e.Subject != subject {
-			continue
-		}
-		if e.Suspected {
-			if open == -1 {
-				out = append(out, episode{start: e.At, end: -1})
-				open = len(out) - 1
-			}
-		} else if open != -1 {
-			out[open].end = e.At
-			open = -1
-		}
-	}
-	return out
-}
-
-// sortedEvents returns the log's events in time order (stable).
-func sortedEvents(log *trace.Log) []trace.Event {
-	events := log.Events()
-	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
-	return events
-}
-
-// DetectionTimes measures, for a subject that crashed, the time from the
-// crash until each observer's *permanent* suspicion (the suspicion episode
-// that never ends). Observers already suspecting the subject when it crashed
-// count as detection time zero.
-func DetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set) DetectionStats {
-	crashAt, ok := truth.CrashTime(subject)
-	if !ok {
-		return DetectionStats{Missing: observers.Len()}
-	}
-	events := sortedEvents(log)
-	var acc detAccum
-	observers.ForEach(func(obs ident.ID) bool {
-		if obs == subject {
-			return true
-		}
-		eps := episodes(events, obs, subject)
-		if len(eps) == 0 || eps[len(eps)-1].end != -1 {
-			acc.miss()
-			return true
-		}
-		det := eps[len(eps)-1].start - crashAt
-		if det < 0 {
-			det = 0 // suspected since before the crash
-		}
-		acc.add(det)
-		return true
-	})
-	return acc.result()
-}
-
 // MistakeStats summarizes false suspicions of correct (or not-yet-crashed)
 // subjects.
 type MistakeStats struct {
@@ -255,93 +222,22 @@ type MistakeStats struct {
 	Rate float64
 }
 
-// Mistakes scans all (observer, subject) pairs among members and counts
-// suspicion episodes of subjects that had not crashed when the episode
-// began.
-func Mistakes(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) MistakeStats {
-	events := sortedEvents(log)
-	var stats MistakeStats
-	var total time.Duration
-	pairs := 0
-	members.ForEach(func(obs ident.ID) bool {
-		members.ForEach(func(subj ident.ID) bool {
-			if obs == subj {
-				return true
-			}
-			pairs++
-			for _, ep := range episodes(events, obs, subj) {
-				if truth.CrashedBy(subj, ep.start) {
-					continue // true suspicion
-				}
-				if ep.end == -1 {
-					// Open at the cut: a mistake only if the subject is up
-					// at the cut (otherwise it became a true detection).
-					if !truth.DownAt(subj, horizon) {
-						stats.Unresolved++
-					}
-					continue
-				}
-				stats.Count++
-				d := ep.end - ep.start
-				total += d
-				if d > stats.MaxDuration {
-					stats.MaxDuration = d
-				}
-			}
-			return true
-		})
-		return true
-	})
-	if stats.Count > 0 {
-		stats.AvgDuration = total / time.Duration(stats.Count)
-	}
-	if pairs > 0 && horizon > 0 {
-		stats.Rate = float64(stats.Count) / float64(pairs) / horizon.Seconds()
-	}
-	return stats
+// DetectionTimes is the one-shot wrapper over Judge.DetectionTimes; see its
+// documentation for the metric definition.
+func DetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set) DetectionStats {
+	return JudgeFrom(log).DetectionTimes(truth, subject, observers)
 }
 
-// QueryAccuracy returns P_A: the probability that a random query about a
-// random correct process at a random time in [0, horizon] is answered
-// correctly (not suspected). Computed as 1 − (aggregate wrongful-suspicion
-// time) / (correct-pair count × horizon). Pairs involving a process that
-// crashes at any point are excluded entirely, as in the crash-stop metric
-// definition; accuracy around recoveries is covered by the dedicated
-// recovery metrics (TrustRestorationTimes, Reconvergence, MistakeStorm).
+// Mistakes is the one-shot wrapper over Judge.Mistakes; see its
+// documentation for the metric definition.
+func Mistakes(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) MistakeStats {
+	return JudgeFrom(log).Mistakes(truth, members, horizon)
+}
+
+// QueryAccuracy is the one-shot wrapper over Judge.QueryAccuracy; see its
+// documentation for the metric definition.
 func QueryAccuracy(log *trace.Log, truth *GroundTruth, members ident.Set, horizon time.Duration) float64 {
-	if horizon <= 0 {
-		return 1
-	}
-	events := sortedEvents(log)
-	var wrongful time.Duration
-	pairs := 0
-	members.ForEach(func(obs ident.ID) bool {
-		if truth.Crashed(obs) {
-			return true // crashed observers stop being queried; skip
-		}
-		members.ForEach(func(subj ident.ID) bool {
-			if obs == subj || truth.Crashed(subj) {
-				return true
-			}
-			pairs++
-			for _, ep := range episodes(events, obs, subj) {
-				end := ep.end
-				if end == -1 || end > horizon {
-					end = horizon
-				}
-				if end > ep.start {
-					wrongful += end - ep.start
-				}
-			}
-			return true
-		})
-		return true
-	})
-	if pairs == 0 {
-		return 1
-	}
-	frac := float64(wrongful) / (float64(pairs) * float64(horizon))
-	return 1 - frac
+	return JudgeFrom(log).QueryAccuracy(truth, members, horizon)
 }
 
 // FalseSuspicionSeries samples how many (observer, correct-subject) pairs
@@ -353,152 +249,27 @@ func FalseSuspicionSeries(log *trace.Log, truth *GroundTruth, times []time.Durat
 	})
 }
 
-// RedetectionTimes measures detection of the subject's k-th downtime (k is a
-// 0-based index into truth.Intervals(subject)): the time from the crash
-// until each observer's first suspicion episode that begins inside the
-// interval; an episode already open when the crash hit counts as detection
-// time zero. Observers with no such episode count as Missing — for a closed
-// interval that means the crash went unnoticed before the process came back.
-// With k = 0 on a crash-stop record this generalizes DetectionTimes, except
-// that the detecting episode need not be permanent (a recovered process is
-// legitimately un-suspected later).
+// RedetectionTimes is the one-shot wrapper over Judge.RedetectionTimes; see
+// its documentation for the metric definition.
 func RedetectionTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
-	ivs := truth.Intervals(subject)
-	if k < 0 || k >= len(ivs) {
-		return DetectionStats{Missing: observers.Len()}
-	}
-	iv := ivs[k]
-	events := sortedEvents(log)
-	var acc detAccum
-	observers.ForEach(func(obs ident.ID) bool {
-		if obs == subject {
-			return true
-		}
-		det := time.Duration(-1)
-		for _, ep := range episodes(events, obs, subject) {
-			if ep.start <= iv.Start && (ep.end == -1 || ep.end > iv.Start) {
-				det = 0 // suspected since before the crash
-				break
-			}
-			if ep.start >= iv.Start && (iv.Open() || ep.start < iv.End) {
-				det = ep.start - iv.Start
-				break
-			}
-		}
-		if det < 0 {
-			acc.miss()
-			return true
-		}
-		acc.add(det)
-		return true
-	})
-	return acc.result()
+	return JudgeFrom(log).RedetectionTimes(truth, subject, observers, k)
 }
 
-// TrustRestorationTimes measures, after the subject's k-th downtime ends,
-// how long the observers still suspecting it at the recovery instant take to
-// trust it again: the end of the suspicion episode covering the recovery,
-// minus the recovery time. Observers not suspecting the subject when it
-// recovered are not counted at all; observers whose episode never closes
-// count as Missing (the restarted process was never re-trusted within the
-// horizon). An open k-th interval (no recovery) reports every observer as
-// Missing.
+// TrustRestorationTimes is the one-shot wrapper over
+// Judge.TrustRestorationTimes; see its documentation for the metric
+// definition.
 func TrustRestorationTimes(log *trace.Log, truth *GroundTruth, subject ident.ID, observers ident.Set, k int) DetectionStats {
-	ivs := truth.Intervals(subject)
-	if k < 0 || k >= len(ivs) || ivs[k].Open() {
-		return DetectionStats{Missing: observers.Len()}
-	}
-	r := ivs[k].End
-	events := sortedEvents(log)
-	var acc detAccum
-	observers.ForEach(func(obs ident.ID) bool {
-		if obs == subject {
-			return true
-		}
-		for _, ep := range episodes(events, obs, subject) {
-			if ep.start > r {
-				break // not suspecting at the recovery instant
-			}
-			if ep.end != -1 && ep.end <= r {
-				continue
-			}
-			// Episode covers r.
-			if ep.end == -1 {
-				acc.miss()
-				return true
-			}
-			acc.add(ep.end - r)
-			return true
-		}
-		return true
-	})
-	return acc.result()
+	return JudgeFrom(log).TrustRestorationTimes(truth, subject, observers, k)
 }
 
-// Reconvergence measures the settle time after `from` (typically a heal or a
-// recovery): how long until the last wrongful suspicion among members is
-// corrected, and whether every one of them was (clean). A suspicion episode
-// counts when it is active at `from`, or begins after it while its subject
-// is up; the settle time is the largest episode end minus `from` — zero when
-// nothing was wrongfully suspected from `from` on. Episodes still open at
-// the end of the trace make the result unclean and do not extend the settle
-// time.
+// Reconvergence is the one-shot wrapper over Judge.Reconvergence; see its
+// documentation for the metric definition.
 func Reconvergence(log *trace.Log, truth *GroundTruth, members ident.Set, from time.Duration) (settle time.Duration, clean bool) {
-	events := sortedEvents(log)
-	clean = true
-	members.ForEach(func(obs ident.ID) bool {
-		members.ForEach(func(subj ident.ID) bool {
-			if obs == subj {
-				return true
-			}
-			for _, ep := range episodes(events, obs, subj) {
-				activeAt := ep.start
-				if activeAt < from {
-					if ep.end != -1 && ep.end <= from {
-						continue // over before `from`
-					}
-					activeAt = from
-				}
-				if truth.DownAt(subj, activeAt) {
-					continue // justified suspicion
-				}
-				if ep.end == -1 {
-					clean = false
-					continue
-				}
-				if d := ep.end - from; d > settle {
-					settle = d
-				}
-			}
-			return true
-		})
-		return true
-	})
-	return settle, clean
+	return JudgeFrom(log).Reconvergence(truth, members, from)
 }
 
-// MistakeStorm counts the false-suspicion episodes that begin inside
-// [start, end) — the mistake burst a partition window or a restart provokes.
-// An episode is false when its subject is not down at the instant it begins.
+// MistakeStorm is the one-shot wrapper over Judge.MistakeStorm; see its
+// documentation for the metric definition.
 func MistakeStorm(log *trace.Log, truth *GroundTruth, members ident.Set, start, end time.Duration) int {
-	events := sortedEvents(log)
-	storm := 0
-	members.ForEach(func(obs ident.ID) bool {
-		members.ForEach(func(subj ident.ID) bool {
-			if obs == subj {
-				return true
-			}
-			for _, ep := range episodes(events, obs, subj) {
-				if ep.start < start || ep.start >= end {
-					continue
-				}
-				if !truth.DownAt(subj, ep.start) {
-					storm++
-				}
-			}
-			return true
-		})
-		return true
-	})
-	return storm
+	return JudgeFrom(log).MistakeStorm(truth, members, start, end)
 }

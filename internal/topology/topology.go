@@ -255,6 +255,94 @@ func Circulant(n, k int) *Graph {
 	return g
 }
 
+// Grid builds the rows × cols torus grid: vertex (r, c) — numbered r·cols+c
+// — is adjacent to its four orthogonal neighbors with wrap-around. Every
+// vertex has degree 4 (less on degenerate 1- or 2-wide tori, where wrapped
+// neighbors coincide), making it the constant-degree planar-like family of
+// the topology sweeps.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) ident.ID {
+		return ident.ID(((r+rows)%rows)*cols + (c+cols)%cols)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id(r+1, c))
+			g.AddEdge(id(r, c), id(r, c+1))
+		}
+	}
+	return g
+}
+
+// ScaleFree builds a Barabási–Albert preferential-attachment graph: a seed
+// clique of m+1 vertices, then each new vertex attaches to m distinct
+// existing vertices chosen with probability proportional to their degree.
+// The result is connected with minimum degree m and a power-law tail — the
+// hub-dominated family of the topology sweeps.
+func ScaleFree(r *rand.Rand, n, m int) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n <= m+1 {
+		// Too small for attachment rounds: complete graph.
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.AddEdge(ident.ID(i), ident.ID(j))
+			}
+		}
+		return g
+	}
+	g := New(n)
+	// endpoints lists every edge endpoint once; sampling it uniformly is
+	// sampling vertices proportionally to degree.
+	endpoints := make([]ident.ID, 0, 2*m*n)
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdge(ident.ID(i), ident.ID(j))
+			endpoints = append(endpoints, ident.ID(i), ident.ID(j))
+		}
+	}
+	chosen := make([]ident.ID, 0, m)
+	for v := m + 1; v < n; v++ {
+		// Rejection-sample m distinct targets in draw order, keeping the
+		// construction deterministic for a given rand stream.
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := endpoints[r.Intn(len(endpoints))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		// Append after all m draws so a vertex cannot attach to itself.
+		for _, t := range chosen {
+			g.AddEdge(ident.ID(v), t)
+			endpoints = append(endpoints, ident.ID(v), t)
+		}
+	}
+	return g
+}
+
+// RandomGeometric builds the MANET-style random radio graph: n nodes placed
+// uniformly in a width × height region, joined when within transmission
+// range radius. Unlike GenerateFCovering it does not retry placements, so
+// the result may be disconnected — callers that need connectivity check and
+// redraw.
+func RandomGeometric(r *rand.Rand, n int, width, height, radius float64) *Graph {
+	positions := make([]Point, n)
+	for i := range positions {
+		positions[i] = Point{X: r.Float64() * width, Y: r.Float64() * height}
+	}
+	return Geometric(positions, radius)
+}
+
 // GenConfig parameterizes the f-covering generator.
 type GenConfig struct {
 	// N is the target node count.

@@ -242,3 +242,92 @@ func BenchmarkConnectivityCheck(b *testing.B) {
 		}
 	}
 }
+
+func TestGridTorus(t *testing.T) {
+	g := Grid(4, 5)
+	if g.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", g.Len())
+	}
+	for v := 0; v < g.Len(); v++ {
+		if d := g.Degree(ident.ID(v)); d != 4 {
+			t.Fatalf("degree(%d) = %d, want 4 on a torus", v, d)
+		}
+	}
+	if !g.Connected() {
+		t.Error("torus grid not connected")
+	}
+	// Wrap-around edges: (0,0)–(3,0) and (0,0)–(0,4).
+	if !g.HasEdge(0, 15) || !g.HasEdge(0, 4) {
+		t.Error("wrap-around edges missing")
+	}
+}
+
+func TestScaleFree(t *testing.T) {
+	g := ScaleFree(rand.New(rand.NewSource(3)), 200, 3)
+	if g.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("BA graph not connected")
+	}
+	min, max, sum := g.Len(), 0, 0
+	for v := 0; v < g.Len(); v++ {
+		d := g.Degree(ident.ID(v))
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min < 3 {
+		t.Errorf("min degree = %d, want ≥ m = 3", min)
+	}
+	if max < 3*min {
+		t.Errorf("max degree = %d with min %d; expected hubs under preferential attachment", max, min)
+	}
+	// Seed clique of m+1=4 contributes 6 edges; each later vertex adds 3.
+	wantEdges := 6 + 3*(200-4)
+	if sum != 2*wantEdges {
+		t.Errorf("degree sum = %d, want %d", sum, 2*wantEdges)
+	}
+	// Same seed ⇒ same graph.
+	h := ScaleFree(rand.New(rand.NewSource(3)), 200, 3)
+	for v := 0; v < g.Len(); v++ {
+		if g.Degree(ident.ID(v)) != h.Degree(ident.ID(v)) {
+			t.Fatalf("ScaleFree not deterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestScaleFreeTiny(t *testing.T) {
+	g := ScaleFree(rand.New(rand.NewSource(1)), 3, 3)
+	if g.Len() != 3 || g.Degree(0) != 2 {
+		t.Errorf("tiny BA fallback not a complete graph: n=%d deg0=%d", g.Len(), g.Degree(0))
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric(rand.New(rand.NewSource(5)), 100, 1000, 1000, 200)
+	if g.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", g.Len())
+	}
+	// Edges respect the radius.
+	for a := 0; a < g.Len(); a++ {
+		pa, _ := g.Position(ident.ID(a))
+		g.Neighbors(ident.ID(a)).ForEach(func(b ident.ID) bool {
+			pb, _ := g.Position(b)
+			if pa.Dist(pb) > 200 {
+				t.Fatalf("edge {%d,%d} longer than the radius", a, b)
+			}
+			return true
+		})
+	}
+	h := RandomGeometric(rand.New(rand.NewSource(5)), 100, 1000, 1000, 200)
+	for v := 0; v < g.Len(); v++ {
+		if g.Degree(ident.ID(v)) != h.Degree(ident.ID(v)) {
+			t.Fatalf("RandomGeometric not deterministic at vertex %d", v)
+		}
+	}
+}

@@ -51,6 +51,20 @@
 // Mismatched quick/seed flags between the reports make means incomparable;
 // benchdiff warns on stderr but still runs the comparison.
 //
+// # Regression budgets (-budget)
+//
+// -budget FILE loads per-metric regression allowances from a JSON file of
+// the form {"budgets": {"det_avg_ms": 2, "mistakes": 1}}. Each regression
+// whose metric still has budget left is downgraded to an informational
+// "budgeted" line and consumes one unit; once a metric's allowance is
+// exhausted, further regressions on it fail the gate as usual. Throughput
+// regressions are budgetable under their field names (events_per_sec,
+// runs_per_sec, ns_per_run). Budgets exist for planned transitions — a PR
+// that knowingly worsens a handful of cells on one metric can land with a
+// small explicit allowance instead of a blanket -update bless — and the
+// budget file is committed next to the baseline so the allowance itself is
+// reviewed.
+//
 // # Blessing changes (-update)
 //
 // -update regenerates the golden baseline in place: after printing the
@@ -167,9 +181,16 @@ func rowIndex(r *benchReport) (map[rowKey]metricRow, []rowKey) {
 	return idx, keys
 }
 
+// regression is one gate failure, tagged with the metric it landed on so a
+// -budget allowance can absorb it.
+type regression struct {
+	metric string
+	line   string
+}
+
 // diff holds the outcome of one comparison run.
 type diff struct {
-	regressions  []string
+	regressions  []regression
 	improvements []string
 	additions    int
 	compared     int
@@ -184,8 +205,8 @@ func compareRows(old, cand *benchReport, slack float64) diff {
 		o := oldIdx[k]
 		n, ok := newIdx[k]
 		if !ok {
-			d.regressions = append(d.regressions,
-				fmt.Sprintf("%s: row missing from candidate (coverage regression)", k))
+			d.regressions = append(d.regressions, regression{k.Metric,
+				fmt.Sprintf("%s: row missing from candidate (coverage regression)", k)})
 			continue
 		}
 		d.compared++
@@ -200,7 +221,7 @@ func compareRows(old, cand *benchReport, slack float64) diff {
 			// (R < 2 or zero spread): ANY drift is a behavior change that
 			// must be blessed by regenerating the baseline, whatever the
 			// direction.
-			d.regressions = append(d.regressions, line+" [zero-width interval: deterministic row changed]")
+			d.regressions = append(d.regressions, regression{k.Metric, line + " [zero-width interval: deterministic row changed]"})
 			continue
 		}
 		worse := delta > 0
@@ -208,7 +229,7 @@ func compareRows(old, cand *benchReport, slack float64) diff {
 			worse = delta < 0
 		}
 		if worse {
-			d.regressions = append(d.regressions, line)
+			d.regressions = append(d.regressions, regression{k.Metric, line})
 		} else {
 			d.improvements = append(d.improvements, line)
 		}
@@ -225,7 +246,7 @@ func compareRows(old, cand *benchReport, slack float64) diff {
 // fields. gate selects whether a worsening beyond the threshold counts as
 // a regression (v1 inputs) or is informational only (v2 inputs, where the
 // rows gate instead).
-func compareThroughput(old, cand *benchReport, threshold float64, gate bool, out io.Writer) []string {
+func compareThroughput(old, cand *benchReport, threshold float64, gate bool, out io.Writer) []regression {
 	fields := []struct {
 		name         string
 		o, n         float64
@@ -235,7 +256,7 @@ func compareThroughput(old, cand *benchReport, threshold float64, gate bool, out
 		{"runs_per_sec", old.RunsPerSec, cand.RunsPerSec, true},
 		{"ns_per_run", old.NSPerRun, cand.NSPerRun, false},
 	}
-	var regressions []string
+	var regressions []regression
 	for _, f := range fields {
 		if f.o == 0 {
 			continue
@@ -247,14 +268,60 @@ func compareThroughput(old, cand *benchReport, threshold float64, gate bool, out
 		}
 		switch {
 		case gate && worsening > threshold:
-			regressions = append(regressions,
+			regressions = append(regressions, regression{f.name,
 				fmt.Sprintf("throughput %s: %.4g -> %.4g (%.1f%% worse, threshold %.1f%%)",
-					f.name, f.o, f.n, worsening*100, threshold*100))
+					f.name, f.o, f.n, worsening*100, threshold*100)})
 		case !gate:
 			fmt.Fprintf(out, "info: throughput %s %.4g -> %.4g (%+.1f%%, not gated)\n", f.name, f.o, f.n, rel*100)
 		}
 	}
 	return regressions
+}
+
+// budgetFile is the on-disk shape of a -budget allowance file.
+type budgetFile struct {
+	Budgets map[string]int `json:"budgets"`
+}
+
+func loadBudgets(path string) (map[string]int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Budgets == nil {
+		return nil, fmt.Errorf("%s: not a budget file (no \"budgets\" object)", path)
+	}
+	for metric, n := range bf.Budgets {
+		if n < 0 {
+			return nil, fmt.Errorf("%s: budget for %q is negative (%d)", path, metric, n)
+		}
+	}
+	return bf.Budgets, nil
+}
+
+// applyBudgets splits the regression list into hard failures and budgeted
+// ones: each regression whose metric still has allowance left consumes one
+// unit and is downgraded. Allowance is consumed in report order, so the
+// first N regressions on a metric are the blessed ones.
+func applyBudgets(regs []regression, budgets map[string]int) (hard []regression, budgeted []string) {
+	remaining := make(map[string]int, len(budgets))
+	for m, n := range budgets {
+		remaining[m] = n
+	}
+	for _, r := range regs {
+		if remaining[r.metric] > 0 {
+			remaining[r.metric]--
+			budgeted = append(budgeted,
+				fmt.Sprintf("%s [budget %s: %d left]", r.line, r.metric, remaining[r.metric]))
+			continue
+		}
+		hard = append(hard, r)
+	}
+	return hard, budgeted
 }
 
 func abs(v float64) float64 {
@@ -273,6 +340,7 @@ func run(args []string, out io.Writer) ([]string, error) {
 	throughput := fs.Float64("throughput-threshold", 0.25, "allowed relative worsening of v1 throughput fields (0.25 = 25%)")
 	quiet := fs.Bool("quiet", false, "suppress improvement/addition/info lines; print regressions only")
 	update := fs.Bool("update", false, "after comparing, regenerate the baseline in place: overwrite OLD.json with the candidate's bytes and exit 0 (bless the changes)")
+	budgetPath := fs.String("budget", "", "JSON file of per-metric regression allowances ({\"budgets\": {\"metric\": N}}); the first N regressions on each listed metric are downgraded to informational lines")
 	fs.Usage = func() {
 		fmt.Fprintf(out, "usage: benchdiff [flags] OLD.json NEW.json\n\ncompares two asyncfd-bench reports (see 'go doc ./cmd/benchdiff')\nflags:\n")
 		fs.PrintDefaults()
@@ -291,6 +359,12 @@ func run(args []string, out io.Writer) ([]string, error) {
 	newRep, err := loadReport(fs.Arg(1))
 	if err != nil {
 		return nil, err
+	}
+	var budgets map[string]int
+	if *budgetPath != "" {
+		if budgets, err = loadBudgets(*budgetPath); err != nil {
+			return nil, err
+		}
 	}
 	if oldRep.Quick != newRep.Quick || oldRep.Seed != newRep.Seed {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: reports differ in quick/seed (old quick=%v seed=%d, new quick=%v seed=%d); means may be incomparable\n",
@@ -311,16 +385,22 @@ func run(args []string, out io.Writer) ([]string, error) {
 	d.regressions = append(d.regressions,
 		compareThroughput(oldRep, newRep, *throughput, !oldRep.hasRows(), infoSink)...)
 
-	for _, line := range d.regressions {
-		fmt.Fprintf(out, "REGRESSION %s\n", line)
+	hard, budgeted := applyBudgets(d.regressions, budgets)
+	for _, r := range hard {
+		fmt.Fprintf(out, "REGRESSION %s\n", r.line)
+	}
+	// Budgeted regressions are part of the verdict (allowance was spent), so
+	// they print even under -quiet — just without the failing prefix.
+	for _, line := range budgeted {
+		fmt.Fprintf(out, "budgeted %s\n", line)
 	}
 	if !*quiet {
 		for _, line := range d.improvements {
 			fmt.Fprintf(out, "improvement %s\n", line)
 		}
 	}
-	fmt.Fprintf(out, "benchdiff: %d regressions, %d improvements, %d rows compared, %d rows added\n",
-		len(d.regressions), len(d.improvements), d.compared, d.additions)
+	fmt.Fprintf(out, "benchdiff: %d regressions (%d budgeted), %d improvements, %d rows compared, %d rows added\n",
+		len(hard), len(budgeted), len(d.improvements), d.compared, d.additions)
 	if *update {
 		// Byte-exact copy: the blessed baseline IS the candidate report, so
 		// re-diffing the pair immediately afterwards is clean by construction.
@@ -332,10 +412,14 @@ func run(args []string, out io.Writer) ([]string, error) {
 			return nil, err
 		}
 		fmt.Fprintf(out, "benchdiff: baseline %s regenerated from %s (%d regressions blessed)\n",
-			fs.Arg(0), fs.Arg(1), len(d.regressions))
+			fs.Arg(0), fs.Arg(1), len(hard))
 		return nil, nil
 	}
-	return d.regressions, nil
+	lines := make([]string, len(hard))
+	for i, r := range hard {
+		lines[i] = r.line
+	}
+	return lines, nil
 }
 
 func main() {

@@ -218,6 +218,138 @@ func TestUsageAndInputErrors(t *testing.T) {
 	}
 }
 
+// writeBudget writes a budget allowance file into dir and returns its path.
+func writeBudget(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "budgets.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// v2Report2Rows builds a report with two det_avg_ms cells, both at the given
+// means, so one metric can regress in two places at once.
+func v2Report2Rows(mean1, mean2 float64) *benchReport {
+	r := v2Report(mean1, 0.1)
+	r.Experiments[0].Rows = append(r.Experiments[0].Rows, metricRow{
+		Cell: "n=16/async", Metric: "det_avg_ms", N: 5, Mean: mean2, CI95: 0.1,
+	})
+	return r
+}
+
+func TestBudgetAbsorbsListedMetric(t *testing.T) {
+	dir := t.TempDir()
+	budget := writeBudget(t, dir, `{"budgets": {"det_avg_ms": 2}}`)
+	regressions, out := runDiff(t, []string{"-budget", budget},
+		v2Report2Rows(12.5, 20.0), v2Report2Rows(14.0, 25.0))
+	if len(regressions) != 0 {
+		t.Errorf("budgeted regressions still failed the gate: %v\n%s", regressions, out)
+	}
+	if !strings.Contains(out, "budgeted") || !strings.Contains(out, "0 left") {
+		t.Errorf("budget consumption not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "0 regressions (2 budgeted)") {
+		t.Errorf("summary lacks the budgeted count:\n%s", out)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// Allowance 1, regressions 2 on the same metric: the first is blessed in
+	// report order, the second fails the gate.
+	dir := t.TempDir()
+	budget := writeBudget(t, dir, `{"budgets": {"det_avg_ms": 1}}`)
+	regressions, out := runDiff(t, []string{"-budget", budget},
+		v2Report2Rows(12.5, 20.0), v2Report2Rows(14.0, 25.0))
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly 1 (budget of 1 exhausted)\n%s", regressions, out)
+	}
+	// Report order is the sorted row-key order, where "n=16" < "n=8"
+	// lexicographically: the n=16 cell consumes the allowance.
+	if !strings.Contains(regressions[0], "n=8/async") {
+		t.Errorf("wrong regression survived: allowance must be spent in report order, got %q", regressions[0])
+	}
+	if !strings.Contains(out, "1 regressions (1 budgeted)") {
+		t.Errorf("summary lacks the split:\n%s", out)
+	}
+}
+
+func TestBudgetOtherMetricDoesNotAbsorb(t *testing.T) {
+	dir := t.TempDir()
+	budget := writeBudget(t, dir, `{"budgets": {"mistakes": 5}}`)
+	regressions, _ := runDiff(t, []string{"-budget", budget},
+		v2Report(12.5, 0.8), v2Report(14.0, 0.8))
+	if len(regressions) != 1 {
+		t.Errorf("allowance on an unrelated metric absorbed a det_avg_ms regression: %v", regressions)
+	}
+}
+
+func TestBudgetCoversThroughputFields(t *testing.T) {
+	dir := t.TempDir()
+	budget := writeBudget(t, dir, `{"budgets": {"events_per_sec": 1, "ns_per_run": 1}}`)
+	regressions, _ := runDiff(t, []string{"-budget", budget},
+		v1Report(1e6, 500, 2e6), v1Report(0.5e6, 250, 4e6))
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "runs_per_sec") {
+		t.Errorf("regressions = %v, want only the unbudgeted runs_per_sec", regressions)
+	}
+}
+
+func TestBudgetFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", v2Report(12.5, 0.8))
+	cand := writeReport(t, dir, "new.json", v2Report(12.5, 0.8))
+	var out strings.Builder
+	for name, body := range map[string]string{
+		"malformed": `{"budgets": `,
+		"no-object": `{"hello": 1}`,
+		"negative":  `{"budgets": {"det_avg_ms": -1}}`,
+	} {
+		path := writeBudget(t, dir, body)
+		if _, err := run([]string{"-budget", path, old, cand}, &out); err == nil {
+			t.Errorf("%s budget file accepted", name)
+		}
+	}
+	if _, err := run([]string{"-budget", filepath.Join(dir, "missing.json"), old, cand}, &out); err == nil {
+		t.Error("missing budget file accepted")
+	}
+}
+
+// TestUpdateRoundTripWithBudget: -budget and -update compose — the blessed
+// count reflects only the unbudgeted regressions, the baseline still becomes
+// the candidate byte-exactly, and the post-update diff is clean.
+func TestUpdateRoundTripWithBudget(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", v2Report2Rows(12.5, 20.0))
+	newPath := writeReport(t, dir, "new.json", v2Report2Rows(14.0, 25.0))
+	budget := writeBudget(t, dir, `{"budgets": {"det_avg_ms": 1}}`)
+
+	var out strings.Builder
+	regressions, err := run([]string{"-budget", budget, "-update", oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("-update returned regressions %v, want none (blessed)", regressions)
+	}
+	if !strings.Contains(out.String(), "(1 regressions blessed)") {
+		t.Errorf("bless count should be the unbudgeted regressions only:\n%s", out.String())
+	}
+	oldRaw, _ := os.ReadFile(oldPath)
+	newRaw, _ := os.ReadFile(newPath)
+	if string(oldRaw) != string(newRaw) {
+		t.Fatal("-update did not copy the candidate byte-exactly")
+	}
+
+	out.Reset()
+	regressions, err = run([]string{"-budget", budget, oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Errorf("post-update diff not clean: %v\n%s", regressions, out.String())
+	}
+}
+
 // TestUpdateRoundTrip: -update must regenerate the baseline in place from
 // the candidate — byte-exactly — so update→diff round-trips clean even when
 // the pre-update comparison was a hard regression.

@@ -7,7 +7,7 @@
 //
 //	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5|LT|comma-list] [-quick]
 //	        [-seed N] [-repeat R] [-parallel N] [-ci] [-json FILE]
-//	        [-queue ladder|heap]
+//	        [-queue ladder|heap] [-fork on|off]
 //
 // Row kinds: ids E1–E8 are the reconstructed paper-family tables, A1/A2 the
 // ablations, R1/R2 the fault-scenario sweeps (crash-recovery and
@@ -29,6 +29,17 @@
 // internal/exp enforces it, and CI compares full fdbench runs both ways —
 // so the knob exists for benchmarking and for bisecting kernel issues, not
 // for changing results. See docs/BENCHMARKS.md, "The kernel event queue".
+//
+// -fork selects how replicated seed families are run: "on" (the default)
+// simulates each family's shared warmup prefix once, checkpoints the whole
+// deployment (DES kernel, network, detector state) and restores the
+// checkpoint per extra replicate; "off" re-simulates the prefix for every
+// replicate. The DES_FORK environment variable ("on"/"off", also "1"/"0")
+// is the escape hatch when the flag is not given. Like -queue, this is a
+// pure performance knob: tables and v2 rows are byte-identical either way
+// at any -parallel (the differential harness in internal/exp enforces it,
+// and CI compares full fdbench runs both ways). See docs/BENCHMARKS.md,
+// "Warmup forking".
 //
 // -parallel sizes the worker pool experiment cells run on: 1 = serial
 // (default), N > 1 = that many workers, 0 or negative = one worker per CPU.
@@ -200,6 +211,7 @@ func run(args []string) error {
 	ciFlag := fs.Bool("ci", false, "collect per-cell seed-family distributions; bumps the -json schema to asyncfd-bench/v2 (rows with mean/stderr/ci95/p50/p99 per metric)")
 	jsonPath := fs.String("json", "", "write a bench report (schema asyncfd-bench/v1, or v2 with -ci) to this file; '-' = stdout, tables suppressed")
 	queueFlag := fs.String("queue", "", "DES kernel timing queue: 'ladder' (default) or 'heap'; empty = $DES_QUEUE, then the kernel default. Results are byte-identical either way")
+	forkFlag := fs.String("fork", "", "warm-fork replication: 'on' (default) checkpoints each seed family's warmed prefix and restores it per replicate, 'off' re-simulates the prefix; empty = $DES_FORK, then on. Results are byte-identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -219,6 +231,22 @@ func run(args []string) error {
 			return fmt.Errorf("unknown queue %q (want 'ladder' or 'heap')", queueName)
 		}
 		des.SetDefaultQueue(kind)
+	}
+	forkName := *forkFlag
+	if forkName == "" {
+		forkName = os.Getenv("DES_FORK")
+	}
+	switch strings.ToLower(forkName) {
+	case "", "on", "1", "true":
+		// The package default (on) stands; an explicit "on" also covers the
+		// case where an earlier SetDefaultFork in this process turned it off.
+		if forkName != "" {
+			exp.SetDefaultFork(true)
+		}
+	case "off", "0", "false":
+		exp.SetDefaultFork(false)
+	default:
+		return fmt.Errorf("unknown -fork value %q (want 'on' or 'off')", forkName)
 	}
 	opts := exp.Options{Seed: *seed, Quick: *quickFlag, Parallel: *parallel, Repeat: *repeat}
 	if *ciFlag {

@@ -63,11 +63,17 @@ type sample struct {
 
 // peerState tracks one monitored process.
 type peerState struct {
-	samples   []sample // ring, bounded by WindowSize
-	next      int
-	maxSeq    uint64
-	suspected bool
-	timer     node.Timer
+	samples []sample // ring, bounded by WindowSize
+	next    int
+	maxSeq  uint64
+	// sumArrival/sumSeq are the running window sums Σ arrival and Σ seq,
+	// maintained by push so expectedArrival is O(1) instead of re-walking
+	// the window on every heartbeat. Integer arithmetic, so the incremental
+	// sums equal the walked ones exactly.
+	sumArrival time.Duration
+	sumSeq     uint64
+	suspected  bool
+	timer      node.Timer
 	// bootstrap marks a window holding only the synthetic restart sample;
 	// the first real heartbeat replaces it wholesale, because mixing the
 	// restart-era sample with post-restart sequence numbers would corrupt
@@ -80,7 +86,7 @@ type Node struct {
 	mu      sync.Mutex
 	env     node.Env
 	cfg     Config
-	peers   map[ident.ID]*peerState
+	peers   node.DenseMap[*peerState]
 	seq     uint64
 	stopped bool
 	beat    node.Timer
@@ -89,6 +95,7 @@ type Node struct {
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
 var _ fd.Restartable = (*Node)(nil)
+var _ node.Cloneable = (*Node)(nil)
 
 // NewNode builds an NFD-E detector on env.
 func NewNode(env node.Env, cfg Config) (*Node, error) {
@@ -98,10 +105,10 @@ func NewNode(env node.Env, cfg Config) (*Node, error) {
 	if cfg.WindowSize == 0 {
 		cfg.WindowSize = 100
 	}
-	n := &Node{env: env, cfg: cfg, peers: make(map[ident.ID]*peerState)}
+	n := &Node{env: env, cfg: cfg}
 	cfg.Peers.ForEach(func(p ident.ID) bool {
 		if p != cfg.Self {
-			n.peers[p] = &peerState{}
+			n.peers.Put(p, &peerState{})
 		}
 		return true
 	})
@@ -118,8 +125,8 @@ func (n *Node) Start() {
 	// and same-instant timers fire in insertion order, so map iteration
 	// would leak into the suspicion-event order across same-seed runs.
 	n.cfg.Peers.ForEach(func(p ident.ID) bool {
-		st, ok := n.peers[p]
-		if !ok {
+		st := n.peers.Get(p)
+		if st == nil {
 			return true
 		}
 		st.push(sample{seq: 0, arrival: now}, n.cfg.WindowSize)
@@ -149,8 +156,8 @@ func (n *Node) Restart(fresh bool) {
 	// timestamp and the re-armed deadlines coincide, so map iteration would
 	// make same-seed runs differ byte-for-byte.
 	n.cfg.Peers.ForEach(func(p ident.ID) bool {
-		st, ok := n.peers[p]
-		if !ok {
+		st := n.peers.Get(p)
+		if st == nil {
 			return true
 		}
 		if st.timer != nil {
@@ -177,35 +184,50 @@ func (n *Node) Stop() {
 	if n.beat != nil {
 		n.beat.Stop()
 	}
-	for _, st := range n.peers {
+	n.peers.ForEach(func(_ ident.ID, st *peerState) bool {
 		if st.timer != nil {
 			st.timer.Stop()
 		}
-	}
+		return true
+	})
 }
 
 func (st *peerState) push(s sample, capacity int) {
 	if len(st.samples) < capacity {
 		st.samples = append(st.samples, s)
 	} else {
+		old := st.samples[st.next]
+		st.sumArrival -= old.arrival
+		st.sumSeq -= old.seq
 		st.samples[st.next] = s
 		st.next = (st.next + 1) % capacity
 	}
+	st.sumArrival += s.arrival
+	st.sumSeq += s.seq
 	if s.seq > st.maxSeq {
 		st.maxSeq = s.seq
 	}
 }
 
+// rebase empties the window (and its running sums) so the next push starts a
+// fresh estimation era.
+func (st *peerState) rebase() {
+	st.samples = st.samples[:0]
+	st.next = 0
+	st.sumArrival = 0
+	st.sumSeq = 0
+}
+
 // expectedArrival estimates EA for heartbeat maxSeq+1: the average of
-// (A_i − Δ·seq_i) over the window, plus Δ·(maxSeq+1).
+// (A_i − Δ·seq_i) over the window, plus Δ·(maxSeq+1). The window sums are
+// maintained incrementally by push; Σ(A_i − Δ·seq_i) = ΣA_i − Δ·Σseq_i
+// exactly in integer arithmetic, so this matches the walked sum byte for
+// byte at O(1) per heartbeat.
 func (st *peerState) expectedArrival(interval time.Duration) time.Duration {
 	if len(st.samples) == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range st.samples {
-		sum += s.arrival - time.Duration(s.seq)*interval
-	}
+	sum := st.sumArrival - time.Duration(st.sumSeq)*interval
 	base := sum / time.Duration(len(st.samples))
 	return base + time.Duration(st.maxSeq+1)*interval
 }
@@ -249,8 +271,8 @@ func (n *Node) Deliver(from ident.ID, payload any) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st, ok := n.peers[from]
-	if !ok || n.stopped {
+	st := n.peers.Get(from)
+	if st == nil || n.stopped {
 		return
 	}
 	if m.Seq <= st.maxSeq {
@@ -264,8 +286,7 @@ func (n *Node) Deliver(from ident.ID, payload any) {
 		// (as with the restart bootstrap) instead of mixing incompatible
 		// eras, which would otherwise flap once per heartbeat until the
 		// window turns over.
-		st.samples = st.samples[:0]
-		st.next = 0
+		st.rebase()
 		st.bootstrap = false
 	}
 	st.push(sample{seq: m.Seq, arrival: n.env.Now()}, n.cfg.WindowSize)
@@ -282,16 +303,67 @@ func (n *Node) emitLocked(subject ident.ID, suspected bool) {
 	}
 }
 
+// snapshot is the node.Cloneable checkpoint: one deep-copied peerState per
+// peer plus the sender-side counters. The suspicion-deadline timer handles
+// are shared by value — armLocked closures capture the live *peerState, and
+// the paired kernel snapshot revalidates the handles — so Restore writes
+// back into the SAME peerState objects those closures hold.
+type snapshot struct {
+	peers   map[ident.ID]peerState
+	seq     uint64
+	stopped bool
+	beat    node.Timer
+}
+
+// clonePeer deep-copies st (the samples window is the only reference field;
+// the timer handle is immutable and shared).
+func clonePeer(st *peerState) peerState {
+	out := *st
+	out.samples = append([]sample(nil), st.samples...)
+	return out
+}
+
+// Snapshot implements node.Cloneable.
+func (n *Node) Snapshot() any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peers := make(map[ident.ID]peerState, n.peers.Len())
+	n.peers.ForEach(func(p ident.ID, st *peerState) bool {
+		peers[p] = clonePeer(st)
+		return true
+	})
+	return &snapshot{peers: peers, seq: n.seq, stopped: n.stopped, beat: n.beat}
+}
+
+// Restore implements node.Cloneable: rolls each live *peerState back in
+// place, preserving the object identities captured by pending timer
+// closures.
+func (n *Node) Restore(snap any) {
+	s := snap.(*snapshot)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for p, saved := range s.peers {
+		st := n.peers.Get(p)
+		samples := append(st.samples[:0], saved.samples...)
+		*st = saved
+		st.samples = samples
+	}
+	n.seq = s.seq
+	n.stopped = s.stopped
+	n.beat = s.beat
+}
+
 // Suspects implements fd.Detector.
 func (n *Node) Suspects() ident.Set {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var out ident.Set
-	for p, st := range n.peers {
+	n.peers.ForEach(func(p ident.ID, st *peerState) bool {
 		if st.suspected {
 			out.Add(p)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -299,6 +371,6 @@ func (n *Node) Suspects() ident.Set {
 func (n *Node) IsSuspected(id ident.ID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st, ok := n.peers[id]
-	return ok && st.suspected
+	st := n.peers.Get(id)
+	return st != nil && st.suspected
 }

@@ -181,8 +181,8 @@ func TestStaleHeartbeatIgnored(t *testing.T) {
 	sender.Send(0, "junk")
 	sim.RunUntil(100 * time.Millisecond)
 	nd.mu.Lock()
-	max := nd.peers[1].maxSeq
-	samples := len(nd.peers[1].samples)
+	max := nd.peers.Get(1).maxSeq
+	samples := len(nd.peers.Get(1).samples)
 	nd.mu.Unlock()
 	if max != 5 {
 		t.Errorf("maxSeq = %d, want 5", max)

@@ -54,6 +54,7 @@ type Node struct {
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
 var _ fd.Restartable = (*Node)(nil)
+var _ node.Cloneable = (*Node)(nil)
 
 // NewNode builds the runtime node. The environment's identity must match
 // the detector configuration.
@@ -190,6 +191,43 @@ func (n *Node) Known() ident.Set {
 // Detector exposes the underlying state machine for tests and diagnostics.
 // Callers must not mutate it while the node is running.
 func (n *Node) Detector() *Detector { return n.det }
+
+// snapshot is the node.Cloneable checkpoint: the detector state machine's
+// mutable state (deep-copied tag sets) plus the runtime's timers and round
+// counter. Restore rolls the SAME *Detector instance back in place — the
+// nodeObserver binding and any pending round-closure closures reference it.
+type snapshot struct {
+	det     detectorState
+	stopped bool
+	pending node.Timer
+	requery node.Timer
+	rounds  uint64
+}
+
+// Snapshot implements node.Cloneable.
+func (n *Node) Snapshot() any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return &snapshot{
+		det:     n.det.snapshotState(),
+		stopped: n.stopped,
+		pending: n.pending,
+		requery: n.requery,
+		rounds:  n.rounds,
+	}
+}
+
+// Restore implements node.Cloneable.
+func (n *Node) Restore(snap any) {
+	s := snap.(*snapshot)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.det.restoreState(s.det)
+	n.stopped = s.stopped
+	n.pending = s.pending
+	n.requery = s.requery
+	n.rounds = s.rounds
+}
 
 // Deliver implements node.Handler, dispatching task T2 (queries) and the
 // response collection of task T1.

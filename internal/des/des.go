@@ -21,8 +21,9 @@
 package des
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -48,8 +49,9 @@ type event struct {
 }
 
 type batchItem struct {
-	at time.Duration
-	fn func()
+	at  time.Duration
+	fn  func()
+	idx int32 // position in the caller's slice; sort tiebreak for equal at
 }
 
 // BatchItem is one callback of a batch fan-out (see Simulator.Batch).
@@ -90,6 +92,8 @@ type Simulator struct {
 	now     time.Duration
 	seq     uint64
 	rng     *rand.Rand
+	seed    int64           // seed of the current random stream (see Reseed)
+	src     *countingSource // the stream itself, draw-counted for Snapshot
 	halted  bool
 	stepped uint64
 	pending int // scheduled callbacks not yet run or reclaimed
@@ -123,7 +127,8 @@ type Simulator struct {
 // order are identical whatever the options, so runs stay reproducible from
 // the seed alone.
 func New(seed int64, opts ...Option) *Simulator {
-	s := &Simulator{rng: rand.New(rand.NewSource(seed)), front: noEvent, queueKind: DefaultQueue()}
+	s := &Simulator{front: noEvent, queueKind: DefaultQueue()}
+	s.setSource(seed)
 	for _, o := range opts {
 		o(s)
 	}
@@ -242,11 +247,22 @@ func (s *Simulator) Batch(items []BatchItem) {
 		if it.D < 0 || at < s.now { // negative or overflowing delays clamp to now, as in After
 			at = s.now
 		}
-		bs[k] = batchItem{at: at, fn: it.Fn}
+		bs[k] = batchItem{at: at, fn: it.Fn, idx: int32(k)}
 	}
-	// Stable sort keeps slice order for equal fire times; combined with the
-	// block of consecutive seqs this preserves After-by-After FIFO semantics.
-	sort.SliceStable(bs, func(a, b int) bool { return bs[a].at < bs[b].at })
+	// Sorting by (at, idx) — a total order, since idx is the item's position
+	// in the caller's slice — yields exactly the stable-by-at permutation:
+	// equal fire times keep slice order, which combined with the block of
+	// consecutive seqs preserves After-by-After FIFO semantics. The explicit
+	// tiebreak lets this use the unstable pdqsort; a k-receiver broadcast
+	// sorts k items on every send, and first the reflection-based
+	// sort.SliceStable and then symMerge were top entries in large-n sweep
+	// profiles.
+	slices.SortFunc(bs, func(a, b batchItem) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
 	i := s.alloc()
 	e := &s.events[i]
 	e.at, e.seq = bs[0].at, s.seq

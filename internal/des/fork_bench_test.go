@@ -1,0 +1,52 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fork_bench_test.go quantifies the warm-fork trade at the kernel level:
+// restoring a checkpoint of a warmed simulator versus rebuilding it and
+// re-running the warmup. The cluster-level counterpart (full detector
+// deployments) is BenchmarkForkVsWarm in internal/exp.
+
+// buildKernelLoad schedules n interleaved periodic chains (one per simulated
+// node, mimicking heartbeat traffic) that keep rescheduling themselves.
+func buildKernelLoad(n int) *Simulator {
+	s := New(11)
+	for i := 0; i < n; i++ {
+		i := i
+		var tick func()
+		tick = func() {
+			s.After(time.Second+time.Duration(s.Rand().Int63n(int64(10*time.Millisecond))), tick)
+		}
+		s.After(time.Duration(i)*time.Millisecond, tick)
+	}
+	return s
+}
+
+const kernelWarm = 10 * time.Second
+
+// BenchmarkForkVsWarm compares the per-replicate cost of materializing a
+// warmed kernel: "warm" rebuilds and re-simulates the 10s prefix, "fork"
+// restores a checkpoint taken once.
+func BenchmarkForkVsWarm(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n%d/warm", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := buildKernelLoad(n)
+				s.RunUntil(kernelWarm)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/fork", n), func(b *testing.B) {
+			s := buildKernelLoad(n)
+			s.RunUntil(kernelWarm)
+			snap := s.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Restore(snap)
+			}
+		})
+	}
+}

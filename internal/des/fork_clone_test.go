@@ -1,0 +1,184 @@
+package des
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fork_clone_test.go pins the structural invariants of Snapshot/Fork cloning
+// that the observational differential (fork_fuzz_test.go) cannot see
+// directly: cloned queues index into the clone's own slab with no index both
+// queued and free, and a forked child is fully detached — no child mutation
+// may perturb the parent's structure.
+
+// queuedIndices collects every slab index the simulator considers pending:
+// the far-horizon queue, the live part of the ready FIFO, and the front
+// batch-continuation slot.
+func queuedIndices(s *Simulator) []int32 {
+	var out []int32
+	switch q := s.queue.(type) {
+	case *heapQueue:
+		out = append(out, q.indices()...)
+	case *ladderQueue:
+		out = append(out, q.indices()...)
+	default:
+		panic(fmt.Sprintf("unknown queue type %T", s.queue))
+	}
+	out = append(out, s.fifo[s.fifoHead:]...)
+	if s.front != noEvent {
+		out = append(out, s.front)
+	}
+	return out
+}
+
+// checkSlabInvariants fails t when a queued slab index is out of range or
+// also sits on the free list.
+func checkSlabInvariants(t *testing.T, label string, s *Simulator) {
+	t.Helper()
+	free := make(map[int32]bool, len(s.free))
+	for _, idx := range s.free {
+		if free[idx] {
+			t.Errorf("%s: slab index %d appears twice on the free list", label, idx)
+		}
+		free[idx] = true
+	}
+	for _, idx := range queuedIndices(s) {
+		if idx < 0 || int(idx) >= len(s.events) {
+			t.Errorf("%s: queued slab index %d out of range [0,%d)", label, idx, len(s.events))
+			continue
+		}
+		if free[idx] {
+			t.Errorf("%s: slab index %d is both queued and on the free list", label, idx)
+		}
+	}
+}
+
+// structuralFingerprint renders everything reachable from the simulator's
+// scheduling structures into one comparable string.
+func structuralFingerprint(s *Simulator) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%d seq=%d stepped=%d pending=%d halted=%v\n", s.now, s.seq, s.stepped, s.pending, s.halted)
+	fmt.Fprintf(&b, "free=%v fifo=%v fifoHead=%d front=%d\n", s.free, s.fifo, s.fifoHead, s.front)
+	for i, e := range s.events {
+		fmt.Fprintf(&b, "ev%d at=%d seq=%d gen=%d stopped=%v items=%d head=%d fn=%v\n",
+			i, e.at, e.seq, e.gen, e.stopped, len(e.items), e.head, e.fn != nil)
+	}
+	return b.String()
+}
+
+// loadSim builds a simulator mid-run with every structural feature present:
+// recycled free slots, a part-drained FIFO, stopped entries, batch nodes and
+// far-horizon timers.
+func loadSim(kind QueueKind) (s *Simulator, fired *int, stopped int) {
+	s = New(7, WithQueue(kind))
+	fired = new(int)
+	bump := func() { *fired++ }
+	for i := 0; i < 8; i++ {
+		s.After(time.Duration(i)*time.Millisecond, bump)
+	}
+	far := s.After(time.Hour, bump)
+	s.At(30*time.Second, bump)
+	items := make([]BatchItem, 5)
+	for j := range items {
+		items[j] = BatchItem{D: time.Duration(j%2) * 250 * time.Microsecond, Fn: bump}
+	}
+	s.Batch(items)
+	stop := s.After(4500*time.Microsecond, bump)
+	s.RunUntil(2 * time.Millisecond) // recycle a few slots onto the free list
+	// Stopped events stay on Pending()'s count until the kernel reaps them.
+	for _, tm := range []*Timer{stop, far} {
+		if tm.Stop() {
+			stopped++
+		}
+	}
+	s.After(0, bump) // ready-FIFO entry at the current instant
+	s.Batch([]BatchItem{{D: 0, Fn: bump}, {D: time.Millisecond, Fn: bump}})
+	return s, fired, stopped
+}
+
+// TestForkCloneInvariants forks a loaded simulator on both queue kinds and
+// checks, for parent and child alike: the slab invariants hold, child
+// mutations (Stop/After/Batch/Step/RunUntil) never change the parent's
+// structural fingerprint, and both kernels then drain to the same schedule.
+func TestForkCloneInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind QueueKind
+	}{
+		{"ladder", QueueLadder},
+		{"heap", QueueHeap},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			parent, parentFired, parentStopped := loadSim(tc.kind)
+			child := parent.Fork()
+			checkSlabInvariants(t, "parent", parent)
+			checkSlabInvariants(t, "child", child)
+
+			if got, want := structuralFingerprint(child), structuralFingerprint(parent); got != want {
+				t.Fatalf("fork is not structurally identical:\nparent:\n%s\nchild:\n%s", want, got)
+			}
+
+			before := structuralFingerprint(parent)
+			// Mutate the child every way the API allows.
+			childExtra := 0
+			tm := child.After(3*time.Millisecond, func() { childExtra++ })
+			child.Batch([]BatchItem{{D: 0, Fn: func() { childExtra++ }}, {D: time.Minute, Fn: func() { childExtra++ }}})
+			tm.Stop()
+			child.Step()
+			child.RunUntil(child.Now() + 10*time.Millisecond)
+			checkSlabInvariants(t, "child after mutation", child)
+			if got := structuralFingerprint(parent); got != before {
+				t.Fatalf("child mutation perturbed the parent:\nbefore:\n%s\nafter:\n%s", before, got)
+			}
+
+			// The parent still drains its original schedule: every pending
+			// callback except the stopped (not yet reaped) ones fires once.
+			pend := parent.Pending()
+			beforeFired := *parentFired
+			parent.RunUntil(2 * time.Hour)
+			if *parentFired != beforeFired+pend-parentStopped {
+				t.Errorf("parent drained %d callbacks, want %d", *parentFired-beforeFired, pend-parentStopped)
+			}
+			checkSlabInvariants(t, "parent drained", parent)
+		})
+	}
+}
+
+// TestRestoreRepeatable pins that one snapshot supports any number of
+// restores: three replays of the same tail produce identical fire sequences
+// and identical final clocks.
+func TestRestoreRepeatable(t *testing.T) {
+	for _, kind := range []QueueKind{QueueLadder, QueueHeap} {
+		kind := kind
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			s := New(3, WithQueue(kind))
+			var fires []string
+			for i := 0; i < 6; i++ {
+				i := i
+				s.After(time.Duration(i+1)*time.Millisecond, func() {
+					fires = append(fires, fmt.Sprintf("%d@%d#%d", i, s.Now(), s.Rand().Int63n(100)))
+				})
+			}
+			s.RunUntil(2500 * time.Microsecond)
+			snap := s.Snapshot()
+			prefix := len(fires)
+
+			var runs []string
+			for round := 0; round < 3; round++ {
+				s.Restore(snap)
+				fires = fires[:prefix]
+				s.RunUntil(10 * time.Millisecond)
+				runs = append(runs, strings.Join(fires[prefix:], ","))
+			}
+			if runs[0] == "" {
+				t.Fatal("replay fired nothing")
+			}
+			if runs[1] != runs[0] || runs[2] != runs[0] {
+				t.Fatalf("replays diverged: %q / %q / %q", runs[0], runs[1], runs[2])
+			}
+		})
+	}
+}

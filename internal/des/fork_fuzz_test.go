@@ -1,0 +1,210 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fork_fuzz_test.go is the kernel-level half of the warm-fork differential
+// harness (the experiment-level half is internal/exp's fork_diff_test.go): a
+// byte-coded script in the FuzzQueueEquivalence op language is split at a
+// fuzzer-chosen point into prefix and suffix; the simulator is snapshotted
+// between the two, run to completion, restored, and the suffix replayed. The
+// replay must be observationally identical — same fire order, same RNG draws,
+// same Now()/Steps()/Pending() at every checkpoint — and taking the snapshot
+// itself must not perturb the original run. CI runs the target with a short
+// -fuzztime budget on every push; the committed seed corpus
+// (testdata/fuzz/FuzzForkEquivalence) covers snapshot points amid same-instant
+// ties, stopped timers, far-horizon rungs and batch fan-outs.
+
+// forkHarness interprets op scripts against one simulator while letting the
+// caller checkpoint and roll back the interpreter alongside the kernel.
+type forkHarness struct {
+	s       *Simulator
+	out     *[]string // swappable so a replay records into a fresh trace
+	timers  []*Timer
+	eventID int
+}
+
+// mk returns the next callback. A deterministic subset of callbacks draws
+// from the kernel RNG (the draw value lands in the trace, so a replay with a
+// mis-positioned RNG stream diverges) and schedules nested work.
+func (h *forkHarness) mk() func() {
+	id := h.eventID
+	h.eventID++
+	return func() {
+		line := fmt.Sprintf("%d@%d", id, h.s.Now())
+		if id%3 == 0 {
+			line += fmt.Sprintf("#%d", h.s.Rand().Int63n(1024))
+		}
+		*h.out = append(*h.out, line)
+		if id%7 == 3 && h.eventID < 4096 {
+			h.s.After(time.Duration(id%5)*time.Microsecond, h.mk())
+		}
+	}
+}
+
+func (h *forkHarness) mark() {
+	*h.out = append(*h.out, fmt.Sprintf("%d/%d/%d", h.s.Now(), h.s.Steps(), h.s.Pending()))
+}
+
+// interp runs data through the same opcode map as runQueueScript.
+func (h *forkHarness) interp(data []byte) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	next16 := func() time.Duration {
+		return time.Duration(int(next())<<8 | int(next()))
+	}
+	for pos < len(data) && h.eventID < 4096 {
+		switch next() % 8 {
+		case 0, 1:
+			h.s.After(next16()*time.Microsecond, h.mk())
+		case 2:
+			h.timers = append(h.timers, h.s.At(h.s.Now()+next16()*time.Microsecond-32*time.Millisecond, h.mk()))
+		case 3:
+			h.s.After(next16()*time.Millisecond<<(next()%11), h.mk())
+		case 4:
+			if len(h.timers) > 0 {
+				h.timers[int(next())%len(h.timers)].Stop()
+			}
+		case 5:
+			h.s.Step()
+			h.mark()
+		case 6:
+			h.s.RunUntil(h.s.Now() + next16()*time.Microsecond)
+			h.mark()
+		case 7:
+			k := int(next())%6 + 2
+			items := make([]BatchItem, k)
+			for j := 0; j < k; j++ {
+				items[j] = BatchItem{D: time.Duration(next()%8) * 500 * time.Microsecond, Fn: h.mk()}
+			}
+			h.s.Batch(items)
+		}
+		if next()%4 == 0 {
+			h.timers = append(h.timers, h.s.After(next16()*time.Microsecond, h.mk()))
+		}
+	}
+}
+
+// drain steps the simulator dry (capped so a fuzz input can never hang).
+func (h *forkHarness) drain() {
+	for i := 0; i < 1_000_000 && h.s.Step(); i++ {
+	}
+	h.mark()
+}
+
+// assertForkEquivalence runs prefix+suffix three ways on the given queue:
+// plain (reference), with a snapshot taken between prefix and suffix (must
+// not perturb anything), and replayed from the restored snapshot (must
+// reproduce the post-snapshot trace byte for byte, twice).
+func assertForkEquivalence(t *testing.T, kind QueueKind, prefix, suffix []byte) {
+	t.Helper()
+
+	var ref []string
+	h := &forkHarness{s: New(1, WithQueue(kind)), out: &ref}
+	h.interp(prefix)
+	h.interp(suffix)
+	h.drain()
+
+	var full []string
+	h = &forkHarness{s: New(1, WithQueue(kind)), out: &full}
+	h.interp(prefix)
+	snap := h.s.Snapshot()
+	cut := len(full)
+	nTimers, nEvents := len(h.timers), h.eventID
+	h.interp(suffix)
+	h.drain()
+
+	if len(full) != len(ref) {
+		t.Fatalf("%v: taking a snapshot perturbed the run: %d trace lines, want %d", kind, len(full), len(ref))
+	}
+	for i := range ref {
+		if full[i] != ref[i] {
+			t.Fatalf("%v: taking a snapshot perturbed the run at line %d: %q, want %q", kind, i, full[i], ref[i])
+		}
+	}
+
+	tail := full[cut:]
+	for round := 0; round < 2; round++ {
+		var replay []string
+		h.out = &replay
+		h.timers = h.timers[:nTimers]
+		h.eventID = nEvents
+		h.s.Restore(snap)
+		h.interp(suffix)
+		h.drain()
+		if len(replay) != len(tail) {
+			t.Fatalf("%v restore #%d: replay has %d trace lines, want %d", kind, round+1, len(replay), len(tail))
+		}
+		for i := range tail {
+			if replay[i] != tail[i] {
+				t.Fatalf("%v restore #%d: replay diverged at line %d: %q, want %q", kind, round+1, i, replay[i], tail[i])
+			}
+		}
+	}
+}
+
+// splitScript interprets the first byte of data as the prefix length.
+func splitScript(data []byte) (prefix, suffix []byte) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	cut := int(data[0])
+	data = data[1:]
+	if cut > len(data) {
+		cut = len(data)
+	}
+	return data[:cut], data[cut:]
+}
+
+// FuzzForkEquivalence drives random op scripts with a random snapshot point
+// against both queue kinds and asserts the restored replay is byte-identical
+// to the original continuation. Seeds mirror the committed corpus.
+func FuzzForkEquivalence(f *testing.F) {
+	for _, seed := range forkScriptSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		prefix, suffix := splitScript(data)
+		assertForkEquivalence(t, QueueLadder, prefix, suffix)
+		assertForkEquivalence(t, QueueHeap, prefix, suffix)
+	})
+}
+
+// forkScriptSeeds are the queue-differential seeds with snapshot points
+// chosen to land amid the regression-prone shapes; committed as the fuzz
+// seed corpus under testdata/fuzz/FuzzForkEquivalence.
+func forkScriptSeeds() [][]byte {
+	var out [][]byte
+	for _, base := range queueScriptSeeds() {
+		for _, cut := range []byte{0, byte(len(base) / 2), byte(len(base))} {
+			out = append(out, append([]byte{cut}, base...))
+		}
+	}
+	return out
+}
+
+// TestForkDifferential replays the seed corpus without needing -fuzz, so
+// `go test` alone exercises the kernel fork harness on every run.
+func TestForkDifferential(t *testing.T) {
+	for i, seed := range forkScriptSeeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			prefix, suffix := splitScript(seed)
+			assertForkEquivalence(t, QueueLadder, prefix, suffix)
+			assertForkEquivalence(t, QueueHeap, prefix, suffix)
+		})
+	}
+}

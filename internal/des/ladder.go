@@ -34,7 +34,9 @@ package des
 // test) enforces that equivalence.
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -206,10 +208,10 @@ func (q *ladderQueue) takeSmallTop() {
 	sortIndices(s, q.bottom)
 }
 
-// sortIndices orders slab indices by (at, seq). Insertion sort below the
-// reflection threshold: the slices here are bucket-sized (≤ ladderSpawnLen
-// in the common case), where avoiding sort.Slice's closure allocations is
-// worth more than asymptotics.
+// sortIndices orders slab indices by (at, seq). Insertion sort below a
+// small threshold; slices.SortFunc (no reflection) above it. (at, seq) is
+// a total order — seqs are unique — so the unstable sort's output is the
+// unique sorted permutation either way.
 func sortIndices(s *Simulator, v []int32) {
 	if len(v) <= 2*ladderSpawnLen {
 		for a := 1; a < len(v); a++ {
@@ -223,7 +225,13 @@ func sortIndices(s *Simulator, v []int32) {
 		}
 		return
 	}
-	sort.Slice(v, func(a, b int) bool { return s.less(v[a], v[b]) })
+	slices.SortFunc(v, func(a, b int32) int {
+		ea, eb := &s.events[a], &s.events[b]
+		if ea.at != eb.at {
+			return cmp.Compare(ea.at, eb.at)
+		}
+		return cmp.Compare(ea.seq, eb.seq)
+	})
 }
 
 func (q *ladderQueue) advanceFrontier(t time.Duration) {
@@ -392,6 +400,37 @@ func (q *ladderQueue) popMin() int32 {
 }
 
 func (q *ladderQueue) reap() { reapHead(q.s, q) }
+
+// clone deep-copies the full ladder state — drain, rungs (with every bucket),
+// top list, frontier and epoch bookkeeping — bound to owner's slab. The spare
+// bucket pool is capacity only (its contents are always overwritten before
+// use), so the clone starts with an empty one.
+func (q *ladderQueue) clone(owner *Simulator) eventQueue {
+	c := &ladderQueue{
+		s:          owner,
+		size:       q.size,
+		bottom:     append([]int32(nil), q.bottom...),
+		bottomHead: q.bottomHead,
+		frontier:   q.frontier,
+		top:        append([]int32(nil), q.top...),
+		topMin:     q.topMin,
+		topMax:     q.topMax,
+	}
+	if len(q.rungs) > 0 {
+		c.rungs = make([]ladderRung, len(q.rungs))
+		copy(c.rungs, q.rungs)
+		for k := range c.rungs {
+			buckets := make([][]int32, len(c.rungs[k].buckets))
+			for b, src := range c.rungs[k].buckets {
+				if len(src) > 0 {
+					buckets[b] = append([]int32(nil), src...)
+				}
+			}
+			c.rungs[k].buckets = buckets
+		}
+	}
+	return c
+}
 
 // indices returns every queued slab index, in no particular order — test
 // hook for the slab-release invariant (no index reuse while queued).

@@ -90,13 +90,17 @@ func WithQueue(k QueueKind) Option {
 //     head, so peek/pop always expose a live minimum and Pending() converges
 //     identically under every implementation;
 //   - len reports the queued element count (stopped-but-unreclaimed
-//     included), used by invariant checks and tests.
+//     included), used by invariant checks and tests;
+//   - clone returns a deep copy of the ordering state bound to owner's slab,
+//     sharing no mutable storage with the receiver — the checkpoint half of
+//     Simulator.Snapshot/Fork. Capacity-only pools need not be copied.
 type eventQueue interface {
 	push(i int32)
 	popMin() int32
 	peekMin() int32
 	reap()
 	len() int
+	clone(owner *Simulator) eventQueue
 }
 
 // newEventQueue builds the QueueKind's implementation bound to s's slab.
@@ -185,3 +189,15 @@ func (q *heapQueue) peekMin() int32 {
 }
 
 func (q *heapQueue) reap() { reapHead(q.s, q) }
+
+// clone deep-copies the heap array; the sift order is a pure function of the
+// push/pop history, so the copy is byte-for-byte the same structure.
+func (q *heapQueue) clone(owner *Simulator) eventQueue {
+	return &heapQueue{s: owner, h: append([]int32(nil), q.h...)}
+}
+
+// indices returns every queued slab index, in no particular order — test
+// hook for the slab-release invariant, mirroring ladderQueue.indices.
+func (q *heapQueue) indices() []int32 {
+	return append([]int32(nil), q.h...)
+}

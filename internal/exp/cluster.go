@@ -28,6 +28,7 @@ import (
 	"asyncfd/internal/heartbeat"
 	"asyncfd/internal/ident"
 	"asyncfd/internal/netsim"
+	"asyncfd/internal/node"
 	"asyncfd/internal/phiaccrual"
 	"asyncfd/internal/qos"
 	"asyncfd/internal/trace"
@@ -120,6 +121,7 @@ type runner interface {
 	Stop()
 	Restart(fresh bool) // fd.Restartable: crash-recovery support
 	Deliver(from ident.ID, payload any)
+	node.Cloneable // warm-fork replication: checkpoint/rollback support
 }
 
 // Cluster is a running simulated detector deployment.
@@ -265,3 +267,47 @@ func (c *Cluster) Apply(s faults.Schedule) *qos.GroundTruth {
 
 // RunUntil advances virtual time to t.
 func (c *Cluster) RunUntil(t time.Duration) { c.Sim.RunUntil(t) }
+
+// ClusterSnapshot is a checkpoint of a running cluster: the DES kernel (event
+// slab, queue, clock, RNG position), the network layer, the suspicion trace
+// mark, and every node runtime's detector state, captured together so the
+// warm-fork engine can roll the whole simulation back to the fork horizon.
+type ClusterSnapshot struct {
+	sim   *des.Snapshot
+	net   *netsim.Snapshot
+	mark  int
+	nodes []any // per-node checkpoints in identity order
+}
+
+// Snapshot checkpoints the cluster at the current virtual time. The cluster
+// must be quiescent (between RunUntil calls, never from inside an event).
+func (c *Cluster) Snapshot() *ClusterSnapshot {
+	s := &ClusterSnapshot{
+		sim:   c.Sim.Snapshot(),
+		net:   c.Net.Snapshot(),
+		mark:  c.Log.Mark(),
+		nodes: make([]any, 0, c.Members.Len()),
+	}
+	// Identity order, matching Restore: Members iterates sorted.
+	c.Members.ForEach(func(id ident.ID) bool {
+		s.nodes = append(s.nodes, c.nodes[id].Snapshot())
+		return true
+	})
+	return s
+}
+
+// Restore rolls the cluster back to the state captured by s, in place: every
+// layer restores into its live objects so the closures held by pending kernel
+// events keep referencing valid state. A snapshot may be restored any number
+// of times; each restore yields a bit-identical replay point.
+func (c *Cluster) Restore(s *ClusterSnapshot) {
+	c.Sim.Restore(s.sim)
+	c.Net.Restore(s.net)
+	c.Log.TruncateTo(s.mark)
+	i := 0
+	c.Members.ForEach(func(id ident.ID) bool {
+		c.nodes[id].Restore(s.nodes[i])
+		i++
+		return true
+	})
+}

@@ -108,6 +108,13 @@ func consensusLatency(opts Options, kind Kind, n, f int, seed int64, delay netsi
 // consensus runs over each detector implementation while the first
 // coordinator is crashed. Decision latency is gated by how fast the detector
 // lets participants skip the dead coordinator.
+//
+// E7 is a bespoke consensus simulation outside the Cluster harness: its
+// replicate loop extracts one latency per run from the decision map
+// directly — no qos.Judge, no trace re-scans — so it neither needs the
+// shared-warmup checkpointing of runFamilies (consensus proposals start
+// almost immediately, there is no long common prefix) nor any Judge
+// hoisting.
 func E7Consensus(opts Options) (*Table, error) {
 	n, f := 7, 3
 	if opts.Quick {

@@ -32,6 +32,12 @@ type Options struct {
 	// what turns single-run point estimates into the confidence intervals
 	// of the asyncfd-bench/v2 rows; see docs/BENCHMARKS.md.
 	Repeat int
+	// Fork selects warm-fork replication for seed families: 0 follows the
+	// package default (SetDefaultFork — on unless cmd/fdbench's -fork flag
+	// or DES_FORK turned it off), positive forces forking, negative forces
+	// the serial comparator that re-simulates each replicate's warmup.
+	// Tables and v2 rows are byte-identical whatever the value.
+	Fork int
 	// Stats, when non-nil, accumulates kernel throughput counters across
 	// every simulation the run executes.
 	Stats *EngineStats
@@ -91,18 +97,30 @@ func defaultDelay() netsim.DelayModel {
 	return netsim.Exponential{Min: 500 * time.Microsecond, Mean: 700 * time.Microsecond, Cap: 100 * time.Millisecond}
 }
 
-// detectionRun crashes one process and measures detection statistics.
-func detectionRun(opts Options, cfg ClusterConfig, crash ident.ID, crashAt, horizon time.Duration) (qos.DetectionStats, *Cluster, error) {
-	c, err := NewCluster(cfg)
-	if err != nil {
-		return qos.DetectionStats{}, nil, err
+// detectionFamily builds the seed family shared by the detection sweeps
+// (E1/L1/E8): crash one process, run to the horizon, measure detection
+// statistics. The warm horizon must precede crashAt. The run closure is
+// already single-pass over the trace — one qos.DetectionTimes call per
+// replicate, no per-metric Judge rebuilds — so there is nothing left to
+// hoist out of the replicate loop here.
+func detectionFamily(opts Options, cfg ClusterConfig, crash ident.ID, crashAt, warm, horizon time.Duration, wrap func(error) error) family[qos.DetectionStats] {
+	return family[qos.DetectionStats]{
+		warm: warm,
+		build: func() (*Cluster, *qos.GroundTruth, error) {
+			c, err := NewCluster(cfg)
+			if err != nil {
+				return nil, nil, wrap(err)
+			}
+			return c, c.Apply(faults.Schedule{}.CrashAt(crash, crashAt)), nil
+		},
+		run: func(c *Cluster, truth *qos.GroundTruth) (qos.DetectionStats, error) {
+			c.RunUntil(horizon)
+			opts.record(c.Sim)
+			observers := c.Members.Clone()
+			observers.Remove(crash)
+			return qos.DetectionTimes(c.Log, truth, crash, observers), nil
+		},
 	}
-	truth := c.Apply(faults.Schedule{}.CrashAt(crash, crashAt))
-	c.RunUntil(horizon)
-	opts.record(c.Sim)
-	observers := c.Members.Clone()
-	observers.Remove(crash)
-	return qos.DetectionTimes(c.Log, truth, crash, observers), c, nil
 }
 
 // aggregateDetection merges per-seed stats: mean of averages, min of
@@ -152,29 +170,23 @@ var detectionColumns = []string{"n", "f",
 // mid-heartbeat-period and every detector kind's R-seed family measures
 // detection stats, sampled per cell into the v2 rows.
 func detectionVsNTable(opts Options, t *Table, ns []int) (*Table, error) {
-	var jobs []func() (qos.DetectionStats, error)
+	var fams []family[qos.DetectionStats]
 	for _, n := range ns {
 		n := n
 		f := boundedF(n)
 		for _, kind := range AllKinds() {
 			kind := kind
-			for r := 0; r < opts.runs(); r++ {
-				cfg := ClusterConfig{
-					Kind: kind, N: n, F: f,
-					Seed:  opts.seed() + int64(r)*101,
-					Delay: defaultDelay(),
-				}
-				jobs = append(jobs, func() (qos.DetectionStats, error) {
-					s, _, err := detectionRun(opts, cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
-					if err != nil {
-						return qos.DetectionStats{}, fmt.Errorf("%s %v n=%d: %w", t.ID, kind, n, err)
-					}
-					return s, nil
-				})
+			cfg := ClusterConfig{
+				Kind: kind, N: n, F: f,
+				Seed:  opts.seed(),
+				Delay: defaultDelay(),
 			}
+			fams = append(fams, detectionFamily(opts, cfg,
+				ident.ID(n-1), 10400*time.Millisecond, 10*time.Second, 30*time.Second,
+				func(err error) error { return fmt.Errorf("%s %v n=%d: %w", t.ID, kind, n, err) }))
 		}
 	}
-	stats, err := runJobs(opts, jobs)
+	stats, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -240,23 +252,26 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 		rate  float64
 		pa    float64
 	}
-	var jobs []func() (e2run, error)
+	var fams []family[e2run]
 	for _, f := range fs {
 		f := f
-		for r := 0; r < opts.runs(); r++ {
-			cfg := ClusterConfig{
-				Kind: KindAsync, N: n, F: f,
-				Seed:     opts.seed() + int64(r)*101,
-				Delay:    defaultDelay(),
-				Window:   time.Nanosecond, // effectively zero, explicit to skip default
-				Interval: time.Second,
-			}
-			jobs = append(jobs, func() (e2run, error) {
+		cfg := ClusterConfig{
+			Kind: KindAsync, N: n, F: f,
+			Seed:     opts.seed(),
+			Delay:    defaultDelay(),
+			Window:   time.Nanosecond, // effectively zero, explicit to skip default
+			Interval: time.Second,
+		}
+		fams = append(fams, family[e2run]{
+			warm: 9 * time.Second, // crash at 10s
+			build: func() (*Cluster, *qos.GroundTruth, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return e2run{}, fmt.Errorf("E2 f=%d: %w", f, err)
+					return nil, nil, fmt.Errorf("E2 f=%d: %w", f, err)
 				}
-				truth := c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 10*time.Second))
+				return c, c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 10*time.Second)), nil
+			},
+			run: func(c *Cluster, truth *qos.GroundTruth) (e2run, error) {
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
 				observers := c.Members.Clone()
@@ -267,10 +282,10 @@ func E2DetectionVsF(opts Options) (*Table, error) {
 					rate:  judge.Mistakes(truth, c.Members, horizon).Rate,
 					pa:    judge.QueryAccuracy(truth, c.Members, horizon),
 				}, nil
-			})
-		}
+			},
+		})
 	}
-	results, err := runJobs(opts, jobs)
+	results, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -328,26 +343,30 @@ func E3Disturbance(opts Options) (*Table, error) {
 		series []int
 		mist   qos.MistakeStats
 	}
-	var jobs []func() (e3run, error)
+	var fams []family[e3run]
 	for _, kind := range kinds {
 		kind := kind
-		for r := 0; r < opts.runs(); r++ {
-			cfg := ClusterConfig{
-				Kind: kind, N: n, F: f,
-				Seed: opts.seed() + int64(r)*101,
-				Delay: netsim.Disturbance{
-					Base:   defaultDelay(),
-					Nodes:  ident.SetOf(3),
-					Start:  start,
-					End:    end,
-					Factor: 3000,
-				},
-			}
-			jobs = append(jobs, func() (e3run, error) {
+		cfg := ClusterConfig{
+			Kind: kind, N: n, F: f,
+			Seed: opts.seed(),
+			Delay: netsim.Disturbance{
+				Base:   defaultDelay(),
+				Nodes:  ident.SetOf(3),
+				Start:  start,
+				End:    end,
+				Factor: 3000,
+			},
+		}
+		fams = append(fams, family[e3run]{
+			warm: 20 * time.Second, // slowdown starts at 30s
+			build: func() (*Cluster, *qos.GroundTruth, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return e3run{}, fmt.Errorf("E3 %v: %w", kind, err)
+					return nil, nil, fmt.Errorf("E3 %v: %w", kind, err)
 				}
+				return c, nil, nil
+			},
+			run: func(c *Cluster, _ *qos.GroundTruth) (e3run, error) {
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
 				truth := &qos.GroundTruth{}
@@ -355,10 +374,10 @@ func E3Disturbance(opts Options) (*Table, error) {
 					series: qos.FalseSuspicionSeries(c.Log, truth, times),
 					mist:   qos.Mistakes(c.Log, truth, c.Members, horizon),
 				}, nil
-			})
-		}
+			},
+		})
 	}
-	results, err := runJobs(opts, jobs)
+	results, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -421,21 +440,25 @@ func E4QoS(opts Options) (*Table, error) {
 		mist qos.MistakeStats
 		pa   float64
 	}
-	var jobs []func() (e4cell, error)
+	var fams []family[e4cell]
 	for _, m := range models {
 		for _, kind := range AllKinds() {
 			kind := kind
-			for r := 0; r < opts.runs(); r++ {
-				cfg := ClusterConfig{
-					Kind: kind, N: 10, F: 3,
-					Seed:  opts.seed() + int64(r)*101,
-					Delay: m.model,
-				}
-				jobs = append(jobs, func() (e4cell, error) {
+			cfg := ClusterConfig{
+				Kind: kind, N: 10, F: 3,
+				Seed:  opts.seed(),
+				Delay: m.model,
+			}
+			fams = append(fams, family[e4cell]{
+				warm: 5 * time.Second, // estimator windows are primed; mistakes accrue over the whole horizon
+				build: func() (*Cluster, *qos.GroundTruth, error) {
 					c, err := NewCluster(cfg)
 					if err != nil {
-						return e4cell{}, fmt.Errorf("E4 %v: %w", kind, err)
+						return nil, nil, fmt.Errorf("E4 %v: %w", kind, err)
 					}
+					return c, nil, nil
+				},
+				run: func(c *Cluster, _ *qos.GroundTruth) (e4cell, error) {
 					c.RunUntil(horizon)
 					opts.record(c.Sim)
 					truth := &qos.GroundTruth{}
@@ -444,11 +467,11 @@ func E4QoS(opts Options) (*Table, error) {
 						mist: judge.Mistakes(truth, c.Members, horizon),
 						pa:   judge.QueryAccuracy(truth, c.Members, horizon),
 					}, nil
-				})
-			}
+				},
+			})
 		}
 	}
-	cells, err := runJobs(opts, jobs)
+	cells, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -583,52 +606,43 @@ func E6MPSensitivity(opts Options) (*Table, error) {
 		never       int
 		favoredTail bool
 	}
-	var jobs []func() (e6run, error)
+	var families []family[e6run]
 	for _, b := range biases {
 		var delay netsim.DelayModel = base
 		if b.fast != nil {
 			delay = netsim.Bias{Base: base, Fast: b.fast, Favored: ident.SetOf(0)}
 		}
-		for r := 0; r < opts.runs(); r++ {
-			cfg := ClusterConfig{
-				Kind: KindAsync, N: n, F: f,
-				Seed:     opts.seed() + int64(r)*101,
-				Delay:    delay,
-				Window:   time.Nanosecond,
-				Interval: 100 * time.Millisecond,
-			}
-			jobs = append(jobs, func() (e6run, error) {
+		cfg := ClusterConfig{
+			Kind: KindAsync, N: n, F: f,
+			Seed:     opts.seed(),
+			Delay:    delay,
+			Window:   time.Nanosecond,
+			Interval: 100 * time.Millisecond,
+		}
+		families = append(families, family[e6run]{
+			warm: 5 * time.Second, // the tail cut is at 30s
+			build: func() (*Cluster, *qos.GroundTruth, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return e6run{}, fmt.Errorf("E6: %w", err)
+					return nil, nil, fmt.Errorf("E6: %w", err)
 				}
+				return c, nil, nil
+			},
+			run: func(c *Cluster, _ *qos.GroundTruth) (e6run, error) {
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
-
-				suspectedInTail := make(map[ident.ID]bool)
-				for _, e := range c.Log.Events() {
-					if e.Suspected && e.At >= cut {
-						suspectedInTail[e.Subject] = true
-					}
-				}
-				// Also count pairs still suspected at the cut.
-				c.Members.ForEach(func(obs ident.ID) bool {
-					c.Members.ForEach(func(subj ident.ID) bool {
-						if obs != subj && c.Log.SuspectedAt(obs, subj, cut) {
-							suspectedInTail[subj] = true
-						}
-						return true
-					})
-					return true
-				})
+				// One episode-index pass replaces the pre-fork raw event scan
+				// plus the O(pairs·events) SuspectedAt loop; the condition is
+				// identical (suspected at the cut, or suspected anew after it).
+				tail := qos.JudgeFrom(c.Log).SuspectedInTail(cut)
 				return e6run{
-					never:       n - len(suspectedInTail),
-					favoredTail: suspectedInTail[0],
+					never:       n - tail.Len(),
+					favoredTail: tail.Has(0),
 				}, nil
-			})
-		}
+			},
+		})
 	}
-	results, err := runJobs(opts, jobs)
+	results, err := runFamilies(opts, families)
 	if err != nil {
 		return nil, err
 	}
@@ -678,29 +692,23 @@ func E8Propagation(opts Options) (*Table, error) {
 	if opts.Quick {
 		ns = []int{8}
 	}
-	var jobs []func() (qos.DetectionStats, error)
+	var fams []family[qos.DetectionStats]
 	for _, n := range ns {
 		n := n
 		f := (n - 1) / 3
 		for _, kind := range []Kind{KindAsync, KindHeartbeat} {
 			kind := kind
-			for r := 0; r < opts.runs(); r++ {
-				cfg := ClusterConfig{
-					Kind: kind, N: n, F: f,
-					Seed:  opts.seed() + int64(r)*101,
-					Delay: defaultDelay(),
-				}
-				jobs = append(jobs, func() (qos.DetectionStats, error) {
-					s, _, err := detectionRun(opts, cfg, ident.ID(n-1), 10400*time.Millisecond, 30*time.Second)
-					if err != nil {
-						return qos.DetectionStats{}, fmt.Errorf("E8 %v: %w", kind, err)
-					}
-					return s, nil
-				})
+			cfg := ClusterConfig{
+				Kind: kind, N: n, F: f,
+				Seed:  opts.seed(),
+				Delay: defaultDelay(),
 			}
+			fams = append(fams, detectionFamily(opts, cfg,
+				ident.ID(n-1), 10400*time.Millisecond, 10*time.Second, 30*time.Second,
+				func(err error) error { return fmt.Errorf("E8 %v: %w", kind, err) }))
 		}
 	}
-	stats, err := runJobs(opts, jobs)
+	stats, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -749,39 +757,44 @@ func A1TagsAblation(opts Options) (*Table, error) {
 		mist  int
 	}
 	variants := []bool{false, true}
-	var jobs []func() (a1cell, error)
+	var fams []family[a1cell]
 	for _, disable := range variants {
 		disable := disable
-		for r := 0; r < opts.runs(); r++ {
-			cfg := ClusterConfig{
-				Kind: KindAsync, N: n, F: f,
-				Seed: opts.seed() + int64(r)*101,
-				// A constant-delay base keeps the network itself mistake-free,
-				// so every event in the tail is attributable to the replay.
-				Delay: netsim.Disturbance{
-					Base:   netsim.Constant{D: time.Millisecond},
-					Nodes:  ident.SetOf(3),
-					Start:  20 * time.Second,
-					End:    25 * time.Second,
-					Factor: 3000,
-				},
-				Window:      5 * time.Millisecond,
-				Interval:    200 * time.Millisecond,
-				DisableTags: disable,
-			}
-			jobs = append(jobs, func() (a1cell, error) {
+		cfg := ClusterConfig{
+			Kind: KindAsync, N: n, F: f,
+			Seed: opts.seed(),
+			// A constant-delay base keeps the network itself mistake-free,
+			// so every event in the tail is attributable to the replay.
+			Delay: netsim.Disturbance{
+				Base:   netsim.Constant{D: time.Millisecond},
+				Nodes:  ident.SetOf(3),
+				Start:  20 * time.Second,
+				End:    25 * time.Second,
+				Factor: 3000,
+			},
+			Window:      5 * time.Millisecond,
+			Interval:    200 * time.Millisecond,
+			DisableTags: disable,
+		}
+		fams = append(fams, family[a1cell]{
+			warm: 18 * time.Second, // disturbance at 20s, replay at 60s
+			build: func() (*Cluster, *qos.GroundTruth, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return a1cell{}, fmt.Errorf("A1: %w", err)
+					return nil, nil, fmt.Errorf("A1: %w", err)
 				}
 				// Replay: an "old" query from p2 still carrying the long-refuted
 				// suspicion ⟨p3, 1⟩ arrives at p5, ten times. Tag 1 is far below
-				// the tags of p3's refutations from the disturbance.
+				// the tags of p3's refutations from the disturbance. Scheduled at
+				// build time, so the replay events are part of the checkpoint.
 				stale := core.Query{From: 2, Round: 1, Suspected: []tagset.Entry{{ID: 3, Tag: 1}}}
 				for i := 0; i < 10; i++ {
 					at := 60*time.Second + time.Duration(i)*500*time.Millisecond
 					c.Sim.At(at, func() { c.Inject(5, 2, stale) })
 				}
+				return c, nil, nil
+			},
+			run: func(c *Cluster, _ *qos.GroundTruth) (a1cell, error) {
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
 				tail := 0
@@ -797,10 +810,10 @@ func A1TagsAblation(opts Options) (*Table, error) {
 				})
 				mist := qos.Mistakes(c.Log, &qos.GroundTruth{}, c.Members, horizon)
 				return a1cell{tail: tail, pairs: pairs, mist: mist.Count}, nil
-			})
-		}
+			},
+		})
 	}
-	cells, err := runJobs(opts, jobs)
+	cells, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -847,23 +860,25 @@ func A2WindowAblation(opts Options) (*Table, error) {
 		rate float64
 		pa   float64
 	}
-	var jobs []func() (a2cell, error)
+	var fams []family[a2cell]
 	for _, w := range windows {
-		w := w
-		for r := 0; r < opts.runs(); r++ {
-			cfg := ClusterConfig{
-				Kind: KindAsync, N: n, F: f,
-				Seed:     opts.seed() + int64(r)*101,
-				Delay:    netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 500 * time.Millisecond},
-				Window:   w,
-				Interval: 200 * time.Millisecond,
-			}
-			jobs = append(jobs, func() (a2cell, error) {
+		cfg := ClusterConfig{
+			Kind: KindAsync, N: n, F: f,
+			Seed:     opts.seed(),
+			Delay:    netsim.Exponential{Min: 500 * time.Microsecond, Mean: 2 * time.Millisecond, Cap: 500 * time.Millisecond},
+			Window:   w,
+			Interval: 200 * time.Millisecond,
+		}
+		fams = append(fams, family[a2cell]{
+			warm: 18 * time.Second, // crash at 20s
+			build: func() (*Cluster, *qos.GroundTruth, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return a2cell{}, fmt.Errorf("A2: %w", err)
+					return nil, nil, fmt.Errorf("A2: %w", err)
 				}
-				truth := c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 20*time.Second))
+				return c, c.Apply(faults.Schedule{}.CrashAt(ident.ID(n-1), 20*time.Second)), nil
+			},
+			run: func(c *Cluster, truth *qos.GroundTruth) (a2cell, error) {
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
 				observers := c.Members.Clone()
@@ -874,10 +889,10 @@ func A2WindowAblation(opts Options) (*Table, error) {
 					rate: judge.Mistakes(truth, c.Members, horizon).Rate,
 					pa:   judge.QueryAccuracy(truth, c.Members, horizon),
 				}, nil
-			})
-		}
+			},
+		})
 	}
-	cells, err := runJobs(opts, jobs)
+	cells, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}

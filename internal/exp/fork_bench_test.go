@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fork_bench_test.go quantifies the warm-fork trade at the cluster level:
+// one replicate of a detection family costs either a full build+warm+tail
+// simulation (serial) or a checkpoint restore plus the tail (fork). The
+// kernel-level counterpart is BenchmarkForkVsWarm in internal/des.
+
+func forkBenchConfig(n int) ClusterConfig {
+	return ClusterConfig{
+		Kind: KindChen, N: n, F: boundedF(n),
+		Seed:  1,
+		Delay: defaultDelay(),
+	}
+}
+
+const (
+	forkBenchWarm    = 10 * time.Second
+	forkBenchHorizon = 15 * time.Second
+)
+
+// BenchmarkForkVsWarm compares the per-replicate cost of a warmed detector
+// cluster: "warm" rebuilds the cluster and re-simulates the 10s prefix plus
+// the 5s measured tail, "fork" restores a checkpoint and runs the tail only
+// — the work the sweep engine saves per extra replicate.
+func BenchmarkForkVsWarm(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n%d/warm", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := NewCluster(forkBenchConfig(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.RunUntil(forkBenchWarm)
+				c.Sim.Reseed(102)
+				c.RunUntil(forkBenchHorizon)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/fork", n), func(b *testing.B) {
+			c, err := NewCluster(forkBenchConfig(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.RunUntil(forkBenchWarm)
+			snap := c.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Restore(snap)
+				c.Sim.Reseed(102)
+				c.RunUntil(forkBenchHorizon)
+			}
+		})
+	}
+}

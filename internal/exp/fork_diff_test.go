@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"asyncfd/internal/stats"
+)
+
+// fork_diff_test.go is the experiment-level half of the warm-fork
+// differential harness: running every replicated cell by restoring a
+// checkpoint of the family's warmed prefix (the default) must be
+// indistinguishable from re-simulating the prefix per replicate — every v1
+// table byte and every asyncfd-bench/v2 metric row, at any worker-pool size.
+// CI additionally runs the same comparison through the fdbench binary
+// (DES_FORK escape hatch); see .github/workflows/ci.yml. The kernel-level
+// half is FuzzForkEquivalence in internal/des.
+
+// forkFingerprint renders the entire quick sweep — all experiments' tables
+// plus their v2 rows — into one byte string under the given replication mode
+// (fork > 0 checkpointed, fork < 0 serial) and worker-pool size.
+func forkFingerprint(t *testing.T, fork, parallel int) string {
+	t.Helper()
+	results, err := AllResults(Options{
+		Quick:    true,
+		Seed:     1,
+		Fork:     fork,
+		Parallel: parallel,
+		Repeat:   3, // exercise restores: replicates 1 and 2 both roll back
+		Samples:  &stats.Collector{},
+	})
+	if err != nil {
+		t.Fatalf("AllResults(fork=%d, parallel=%d): %v", fork, parallel, err)
+	}
+	var buf bytes.Buffer
+	for _, r := range results {
+		if err := r.Table.Render(&buf); err != nil {
+			t.Fatalf("render %s: %v", r.ID, err)
+		}
+		for _, row := range r.Rows {
+			fmt.Fprintf(&buf, "%s %s %s n=%d mean=%v stderr=%v ci95=%v p50=%v p99=%v min=%v max=%v\n",
+				r.ID, row.Cell, row.Metric, row.N, row.Mean, row.StdErr, row.CI95, row.P50, row.P99, row.Min, row.Max)
+		}
+	}
+	return buf.String()
+}
+
+// TestSweepByteIdenticalAcrossForkModes runs the full quick sweep with warm
+// forking on and off at -parallel 1 and -parallel 8 and asserts the rendered
+// tables and v2 rows are byte-identical in all four combinations. This is
+// the acceptance bar for forking being the default: restoring a checkpoint
+// is a pure performance knob, never a behavior change.
+func TestSweepByteIdenticalAcrossForkModes(t *testing.T) {
+	baseline := forkFingerprint(t, -1, 1)
+	if baseline == "" {
+		t.Fatal("empty sweep fingerprint")
+	}
+	for _, tc := range []struct {
+		name     string
+		fork     int
+		parallel int
+	}{
+		{"fork/parallel=1", 1, 1},
+		{"serial/parallel=8", -1, 8},
+		{"fork/parallel=8", 1, 8},
+	} {
+		if got := forkFingerprint(t, tc.fork, tc.parallel); got != baseline {
+			t.Errorf("%s: sweep output differs from serial/parallel=1 baseline\n%s",
+				tc.name, firstDiffLine(baseline, got))
+		}
+	}
+}
+
+// TestForkDefaultToggle pins the SetDefaultFork plumbing: Options.Fork == 0
+// follows the package default, non-zero overrides it.
+func TestForkDefaultToggle(t *testing.T) {
+	if !DefaultFork() {
+		t.Fatal("warm forking must default to on")
+	}
+	SetDefaultFork(false)
+	defer SetDefaultFork(true)
+	if DefaultFork() {
+		t.Fatal("SetDefaultFork(false) did not stick")
+	}
+	if (Options{}).forkEnabled() {
+		t.Error("Options.Fork=0 must follow the package default")
+	}
+	if !(Options{Fork: 1}).forkEnabled() || (Options{Fork: -1}).forkEnabled() {
+		t.Error("Options.Fork=±1 must override the package default")
+	}
+}

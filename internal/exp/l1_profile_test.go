@@ -1,0 +1,17 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+// TestL1Profile is a harness for profiling the L1 sweep; enabled only via
+// L1_PROFILE=1 so normal test runs skip the multi-minute simulation.
+func TestL1Profile(t *testing.T) {
+	if os.Getenv("L1_PROFILE") == "" {
+		t.Skip("set L1_PROFILE=1 to run the profiling harness")
+	}
+	if _, err := L1DetectionLargeN(Options{Seed: 1, Repeat: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

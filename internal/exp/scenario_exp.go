@@ -49,26 +49,30 @@ func R1CrashRecovery(opts Options) (*Table, error) {
 		det1, restore, det2 qos.DetectionStats
 		storm               int
 	}
-	var jobs []func() (r1cell, error)
+	var fams []family[r1cell]
 	for _, kind := range AllKinds() {
 		kind := kind
 		for _, mode := range modes {
 			mode := mode
-			for r := 0; r < opts.runs(); r++ {
-				cfg := ClusterConfig{
-					Kind: kind, N: n, F: f,
-					Seed:  opts.seed() + int64(r)*101,
-					Delay: defaultDelay(),
-				}
-				jobs = append(jobs, func() (r1cell, error) {
+			cfg := ClusterConfig{
+				Kind: kind, N: n, F: f,
+				Seed:  opts.seed(),
+				Delay: defaultDelay(),
+			}
+			fams = append(fams, family[r1cell]{
+				warm: 9 * time.Second, // first crash at 10s
+				build: func() (*Cluster, *qos.GroundTruth, error) {
 					c, err := NewCluster(cfg)
 					if err != nil {
-						return r1cell{}, fmt.Errorf("R1 %v/%s: %w", kind, mode.name, err)
+						return nil, nil, fmt.Errorf("R1 %v/%s: %w", kind, mode.name, err)
 					}
 					truth := c.Apply(faults.Schedule{}.
 						CrashAt(victim, crash1).
 						RecoverAt(victim, recoverAt, mode.fresh).
 						CrashAt(victim, crash2))
+					return c, truth, nil
+				},
+				run: func(c *Cluster, truth *qos.GroundTruth) (r1cell, error) {
 					c.RunUntil(horizon)
 					opts.record(c.Sim)
 					observers := c.Members.Clone()
@@ -80,11 +84,11 @@ func R1CrashRecovery(opts Options) (*Table, error) {
 						det2:    judge.RedetectionTimes(truth, victim, observers, 1),
 						storm:   judge.MistakeStorm(truth, c.Members, recoverAt, crash2),
 					}, nil
-				})
-			}
+				},
+			})
 		}
 	}
-	cells, err := runJobs(opts, jobs)
+	cells, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}
@@ -151,28 +155,32 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 		settle time.Duration
 		clean  bool
 	}
-	var jobs []func() (r2cell, error)
+	var fams []family[r2cell]
 	for _, kind := range AllKinds() {
 		kind := kind
-		for r := 0; r < opts.runs(); r++ {
-			cfg := ClusterConfig{
-				Kind: kind, N: n, F: f,
-				Seed:  opts.seed() + int64(r)*101,
-				Delay: defaultDelay(),
-				// The minority island cannot reach the quorum while cut off;
-				// rebroadcast lets its stalled queries complete after the
-				// heal instead of blocking forever (the mobility extension's
-				// re-query rule).
-				Rebroadcast: 2 * time.Second,
-			}
-			jobs = append(jobs, func() (r2cell, error) {
+		cfg := ClusterConfig{
+			Kind: kind, N: n, F: f,
+			Seed:  opts.seed(),
+			Delay: defaultDelay(),
+			// The minority island cannot reach the quorum while cut off;
+			// rebroadcast lets its stalled queries complete after the
+			// heal instead of blocking forever (the mobility extension's
+			// re-query rule).
+			Rebroadcast: 2 * time.Second,
+		}
+		fams = append(fams, family[r2cell]{
+			warm: 14 * time.Second, // partition at 15s
+			build: func() (*Cluster, *qos.GroundTruth, error) {
 				c, err := NewCluster(cfg)
 				if err != nil {
-					return r2cell{}, fmt.Errorf("R2 %v: %w", kind, err)
+					return nil, nil, fmt.Errorf("R2 %v: %w", kind, err)
 				}
 				truth := c.Apply(faults.Schedule{}.
 					PartitionAt(splitAt, minority).
 					HealAt(healAt))
+				return c, truth, nil
+			},
+			run: func(c *Cluster, truth *qos.GroundTruth) (r2cell, error) {
 				c.RunUntil(horizon)
 				opts.record(c.Sim)
 				judge := qos.JudgeFrom(c.Log)
@@ -182,10 +190,10 @@ func R2PartitionHeal(opts Options) (*Table, error) {
 					settle: settle,
 					clean:  clean,
 				}, nil
-			})
-		}
+			},
+		})
 	}
-	cells, err := runJobs(opts, jobs)
+	cells, err := runFamilies(opts, fams)
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// peerState holds the per-peer suspicion timeout. It is a pointer target so
+// the hot re-arm path (every heartbeat delivery) is a direct slice index plus
+// a field write, with no map operations.
+type peerState struct {
+	expiry node.Timer
+}
+
 // Node is the direct all-to-all heartbeat detector. It is safe for
 // concurrent use.
 type Node struct {
@@ -69,7 +76,7 @@ type Node struct {
 	cfg       Config
 	seq       uint64
 	suspected ident.Set
-	expiry    map[ident.ID]node.Timer
+	peers     node.DenseMap[*peerState]
 	stopped   bool
 	beat      node.Timer
 }
@@ -77,6 +84,7 @@ type Node struct {
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
 var _ fd.Restartable = (*Node)(nil)
+var _ node.Cloneable = (*Node)(nil)
 
 // NewNode builds a direct heartbeat detector on env.
 func NewNode(env node.Env, cfg Config) (*Node, error) {
@@ -85,7 +93,12 @@ func NewNode(env node.Env, cfg Config) (*Node, error) {
 	}
 	cfg.Peers = cfg.Peers.Clone()
 	cfg.Peers.Remove(cfg.Self)
-	return &Node{env: env, cfg: cfg, expiry: make(map[ident.ID]node.Timer)}, nil
+	n := &Node{env: env, cfg: cfg}
+	cfg.Peers.ForEach(func(p ident.ID) bool {
+		n.peers.Put(p, &peerState{})
+		return true
+	})
+	return n, nil
 }
 
 // Start begins heartbeating and arms the initial timeout for every peer (the
@@ -113,9 +126,12 @@ func (n *Node) Restart(fresh bool) {
 	if n.beat != nil {
 		n.beat.Stop()
 	}
-	for _, t := range n.expiry {
-		t.Stop()
-	}
+	n.peers.ForEach(func(_ ident.ID, st *peerState) bool {
+		if st.expiry != nil {
+			st.expiry.Stop()
+		}
+		return true
+	})
 	n.stopped = false
 	if fresh {
 		n.suspected.ForEach(func(p ident.ID) bool {
@@ -140,9 +156,12 @@ func (n *Node) Stop() {
 	if n.beat != nil {
 		n.beat.Stop()
 	}
-	for _, t := range n.expiry {
-		t.Stop()
-	}
+	n.peers.ForEach(func(_ ident.ID, st *peerState) bool {
+		if st.expiry != nil {
+			st.expiry.Stop()
+		}
+		return true
+	})
 }
 
 func (n *Node) tickLocked() {
@@ -160,10 +179,11 @@ func (n *Node) tickLocked() {
 
 // armLocked (re)arms the expiry timer for peer p.
 func (n *Node) armLocked(p ident.ID) {
-	if t, ok := n.expiry[p]; ok {
-		t.Stop()
+	st := n.peers.Get(p)
+	if st.expiry != nil {
+		st.expiry.Stop()
 	}
-	n.expiry[p] = n.env.After(n.cfg.Timeout, func() {
+	st.expiry = n.env.After(n.cfg.Timeout, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		if n.stopped || n.suspected.Has(p) {
@@ -195,6 +215,55 @@ func (n *Node) emitLocked(subject ident.ID, suspected bool) {
 	if n.cfg.Sink != nil {
 		n.cfg.Sink.OnSuspicion(n.env.Now(), n.env.Self(), subject, suspected)
 	}
+}
+
+// snapshot is the node.Cloneable checkpoint of a heartbeat detector: the
+// sequence counter, the suspicion set and the live timer handles. Timer
+// handles are shared by value with the live node — des.Timer handles are
+// immutable, and the paired kernel snapshot rewinds slot generations so a
+// handle captured here is pending again after Restore.
+type snapshot struct {
+	seq       uint64
+	suspected ident.Set
+	expiry    map[ident.ID]node.Timer
+	stopped   bool
+	beat      node.Timer
+}
+
+// Snapshot implements node.Cloneable.
+func (n *Node) Snapshot() any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	expiry := make(map[ident.ID]node.Timer, n.peers.Len())
+	n.peers.ForEach(func(p ident.ID, st *peerState) bool {
+		if st.expiry != nil {
+			expiry[p] = st.expiry
+		}
+		return true
+	})
+	return &snapshot{
+		seq:       n.seq,
+		suspected: n.suspected.Clone(),
+		expiry:    expiry,
+		stopped:   n.stopped,
+		beat:      n.beat,
+	}
+}
+
+// Restore implements node.Cloneable: writes each saved timer handle back into
+// the live peerState (clearing peers the checkpoint had no timer for).
+func (n *Node) Restore(snap any) {
+	s := snap.(*snapshot)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seq = s.seq
+	n.suspected = s.suspected.Clone()
+	n.peers.ForEach(func(p ident.ID, st *peerState) bool {
+		st.expiry = s.expiry[p]
+		return true
+	})
+	n.stopped = s.stopped
+	n.beat = s.beat
 }
 
 // Suspects implements fd.Detector.

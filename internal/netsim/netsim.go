@@ -357,6 +357,81 @@ func (n *Network) Partitioned() bool { return len(n.partitions) > 0 }
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Snapshot is a checkpoint of the network's mutable state, taken with
+// Network.Snapshot and rolled back with Network.Restore. It pairs with
+// des.Snapshot: the kernel checkpoint holds the in-flight messages (their
+// delivery closures), this one holds liveness, topology, the filter stack,
+// partitions and traffic counters. It shares no mutable storage with the
+// live network.
+type Snapshot struct {
+	handlers   []node.Handler
+	crashed    ident.Set
+	neighbors  map[ident.ID]ident.Set
+	topoEpoch  uint64
+	filters    []linkFilterEntry
+	nextToken  int
+	partitions []partitionLayer
+	stats      Stats
+}
+
+func cloneNeighbors(src map[ident.ID]ident.Set) map[ident.ID]ident.Set {
+	if src == nil {
+		return nil
+	}
+	out := make(map[ident.ID]ident.Set, len(src))
+	for id, s := range src {
+		out[id] = s.Clone()
+	}
+	return out
+}
+
+func clonePartitions(src []partitionLayer) []partitionLayer {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]partitionLayer, len(src))
+	for i, p := range src {
+		out[i] = partitionLayer{labels: append([]int32(nil), p.labels...), implicit: p.implicit}
+	}
+	return out
+}
+
+// Snapshot captures the network's mutable state. Handler identities are
+// shared by reference (the detector runtimes checkpoint their own state);
+// everything else — crash set, neighborhoods, filter stack, partition
+// layers, counters — is deep-copied.
+func (n *Network) Snapshot() *Snapshot {
+	return &Snapshot{
+		handlers:   append([]node.Handler(nil), n.handlers...),
+		crashed:    n.crashed.Clone(),
+		neighbors:  cloneNeighbors(n.neighbors),
+		topoEpoch:  n.topoEpoch,
+		filters:    append([]linkFilterEntry(nil), n.filters...),
+		nextToken:  n.nextToken,
+		partitions: clonePartitions(n.partitions),
+		stats:      n.stats,
+	}
+}
+
+// Restore rolls the network back to the checkpoint, in place (the kernel's
+// pending delivery closures captured this Network, so replication rewinds it
+// rather than building a second one). Deep copies go both ways, so the same
+// snapshot restores any number of times. The fan-out cache is invalidated
+// wholesale: rebuilds are lazy, deterministic functions of the restored
+// topology, so behavior is unchanged and stale epoch stamps from the
+// rolled-back run can never validate against post-restore topologies.
+func (n *Network) Restore(snap *Snapshot) {
+	n.handlers = append(n.handlers[:0], snap.handlers...)
+	n.crashed = snap.crashed.Clone()
+	n.neighbors = cloneNeighbors(snap.neighbors)
+	n.topoEpoch = snap.topoEpoch
+	n.fanout = make([]fanoutEntry, len(n.handlers))
+	n.filters = append(n.filters[:0], snap.filters...)
+	n.nextToken = snap.nextToken
+	n.partitions = append(n.partitions[:0], clonePartitions(snap.partitions)...)
+	n.stats = snap.stats
+}
+
 // send is the single unicast transmission path. When a neighborhood is
 // configured for the sender, point-to-point sends outside it are dropped
 // too: in the radio model a node can only talk to processes within its

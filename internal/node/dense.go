@@ -1,0 +1,104 @@
+package node
+
+import (
+	"slices"
+
+	"asyncfd/internal/ident"
+)
+
+// denseLimit bounds the IDs the direct-indexed backing array may grow to
+// cover. The simulation harness numbers processes 0..n-1, so in practice
+// every entry lands in the array; IDs at or above the limit (or negative
+// ones) fall back to a hash map so arbitrary identities still work without
+// unbounded memory.
+const denseLimit = 1 << 14
+
+// DenseMap maps ident.ID to T, optimized for the dense non-negative IDs the
+// simulation harness assigns: small IDs index a backing slice directly,
+// which keeps the detectors' per-delivery peer lookup off the hash path —
+// map hashing was a measurable slice of large-n sweep time. The zero value
+// is ready to use.
+//
+// The zero value of T means "absent": Get returns it for missing keys, and
+// callers must not store it (detectors store non-nil pointers or timer
+// handles, so the constraint costs nothing).
+type DenseMap[T comparable] struct {
+	dense  []T
+	sparse map[ident.ID]T
+	count  int
+}
+
+// Get returns the value stored for id, or T's zero value if none.
+func (m *DenseMap[T]) Get(id ident.ID) T {
+	if i := int(id); i >= 0 && i < len(m.dense) {
+		return m.dense[i]
+	}
+	return m.sparse[id]
+}
+
+// Put stores v for id, replacing any previous value. Storing T's zero value
+// is equivalent to deleting the entry.
+func (m *DenseMap[T]) Put(id ident.ID, v T) {
+	var zero T
+	if i := int(id); i >= 0 && i < denseLimit {
+		if i >= len(m.dense) {
+			grown := make([]T, i+1)
+			copy(grown, m.dense)
+			m.dense = grown
+		}
+		if (m.dense[i] == zero) != (v == zero) {
+			if v == zero {
+				m.count--
+			} else {
+				m.count++
+			}
+		}
+		m.dense[i] = v
+		return
+	}
+	if (m.sparse[id] == zero) != (v == zero) {
+		if v == zero {
+			m.count--
+		} else {
+			m.count++
+		}
+	}
+	if v == zero {
+		delete(m.sparse, id)
+		return
+	}
+	if m.sparse == nil {
+		m.sparse = make(map[ident.ID]T)
+	}
+	m.sparse[id] = v
+}
+
+// Len returns the number of present entries.
+func (m *DenseMap[T]) Len() int { return m.count }
+
+// ForEach visits every present entry in ascending ID order (deterministic,
+// unlike map iteration) until fn returns false.
+func (m *DenseMap[T]) ForEach(fn func(id ident.ID, v T) bool) {
+	var zero T
+	for i, v := range m.dense {
+		if v == zero {
+			continue
+		}
+		if !fn(ident.ID(i), v) {
+			return
+		}
+	}
+	if len(m.sparse) == 0 {
+		return
+	}
+	ids := make([]ident.ID, 0, len(m.sparse))
+	for id := range m.sparse {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		if !fn(id, m.sparse[id]) {
+			return
+		}
+	}
+}

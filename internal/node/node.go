@@ -43,6 +43,22 @@ type Env interface {
 	Broadcast(payload any)
 }
 
+// Cloneable is the checkpoint contract a detector runtime implements to
+// support warmup forking (see internal/des's Snapshot/Restore): Snapshot
+// deep-copies the runtime's mutable state — per-pair estimator windows,
+// suspicion sets, pending timer handles — into an opaque value, and Restore
+// rolls the SAME runtime instance back to it, in place. In-place matters:
+// scheduled closures and in-flight deliveries captured the live instance, so
+// replication rewinds it rather than building a second one. A snapshot must
+// survive any number of Restores, and timer handles it carries stay valid
+// because the kernel snapshot rewinds slot generations in lockstep.
+type Cloneable interface {
+	// Snapshot captures the runtime's mutable state.
+	Snapshot() any
+	// Restore rolls the runtime back to a value Snapshot returned.
+	Restore(snapshot any)
+}
+
 // Handler consumes messages delivered to a process.
 type Handler interface {
 	// Deliver hands the process a message previously sent to it. It runs

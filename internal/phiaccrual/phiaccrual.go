@@ -87,14 +87,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// window is a bounded sample set with running mean/variance.
+// window is a bounded sample set with memoized mean/variance.
 type window struct {
 	samples []float64 // seconds
 	next    int
 	full    bool
+	// stats caches the last meanStd result: the scan timer re-evaluates φ
+	// several times per heartbeat interval, and re-walking an unchanged
+	// window dominated large-n sweeps. push invalidates the cache, so the
+	// returned floats are always the ones the walk would produce — computed
+	// in the same order, just once per window mutation.
+	statsValid bool
+	mean, std  float64
 }
 
 func (w *window) push(v float64, capacity int) {
+	w.statsValid = false
 	if len(w.samples) < capacity {
 		w.samples = append(w.samples, v)
 		return
@@ -105,6 +113,9 @@ func (w *window) push(v float64, capacity int) {
 }
 
 func (w *window) meanStd() (mean, std float64) {
+	if w.statsValid {
+		return w.mean, w.std
+	}
 	n := float64(len(w.samples))
 	if n == 0 {
 		return 0, 0
@@ -120,6 +131,7 @@ func (w *window) meanStd() (mean, std float64) {
 		ss += d * d
 	}
 	std = math.Sqrt(ss / n)
+	w.statsValid, w.mean, w.std = true, mean, std
 	return mean, std
 }
 
@@ -135,7 +147,7 @@ type Node struct {
 	mu      sync.Mutex
 	env     node.Env
 	cfg     Config
-	peers   map[ident.ID]*peerState
+	peers   node.DenseMap[*peerState]
 	seq     uint64
 	stopped bool
 	beat    node.Timer
@@ -145,6 +157,7 @@ type Node struct {
 var _ node.Handler = (*Node)(nil)
 var _ fd.Detector = (*Node)(nil)
 var _ fd.Restartable = (*Node)(nil)
+var _ node.Cloneable = (*Node)(nil)
 
 // NewNode builds a φ-accrual detector on env.
 func NewNode(env node.Env, cfg Config) (*Node, error) {
@@ -152,10 +165,10 @@ func NewNode(env node.Env, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	cfg.fillDefaults()
-	n := &Node{env: env, cfg: cfg, peers: make(map[ident.ID]*peerState)}
+	n := &Node{env: env, cfg: cfg}
 	cfg.Peers.ForEach(func(p ident.ID) bool {
 		if p != cfg.Self {
-			n.peers[p] = &peerState{}
+			n.peers.Put(p, &peerState{})
 		}
 		return true
 	})
@@ -169,10 +182,11 @@ func (n *Node) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	now := n.env.Now()
-	for _, st := range n.peers {
+	n.peers.ForEach(func(_ ident.ID, st *peerState) bool {
 		st.last = now
 		st.win.push(n.cfg.Interval.Seconds(), n.cfg.WindowSize)
-	}
+		return true
+	})
 	n.tickLocked()
 	n.scanLocked()
 }
@@ -198,8 +212,8 @@ func (n *Node) Restart(fresh bool) {
 	// all carry the same timestamp, and runs of one seed must produce
 	// identical trace bytes.
 	n.cfg.Peers.ForEach(func(p ident.ID) bool {
-		st, ok := n.peers[p]
-		if !ok {
+		st := n.peers.Get(p)
+		if st == nil {
 			return true
 		}
 		if fresh {
@@ -250,8 +264,8 @@ func (n *Node) scanLocked() {
 	// Sorted peer order, not map order: one scan instant can suspect
 	// several peers, and same-seed runs must emit them in identical order.
 	n.cfg.Peers.ForEach(func(p ident.ID) bool {
-		st, ok := n.peers[p]
-		if !ok {
+		st := n.peers.Get(p)
+		if st == nil {
 			return true
 		}
 		phi := n.phiLocked(st, now)
@@ -292,8 +306,8 @@ func (n *Node) phiLocked(st *peerState, now time.Duration) float64 {
 func (n *Node) Phi(id ident.ID) float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st, ok := n.peers[id]
-	if !ok {
+	st := n.peers.Get(id)
+	if st == nil {
 		return 0
 	}
 	return n.phiLocked(st, n.env.Now())
@@ -306,8 +320,8 @@ func (n *Node) Deliver(from ident.ID, payload any) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st, ok := n.peers[from]
-	if !ok || n.stopped {
+	st := n.peers.Get(from)
+	if st == nil || n.stopped {
 		return
 	}
 	now := n.env.Now()
@@ -332,16 +346,60 @@ func (n *Node) emitLocked(subject ident.ID, suspected bool) {
 	}
 }
 
+// snapshot is the node.Cloneable checkpoint: one deep-copied peerState per
+// peer (the inter-arrival window is the only reference field) plus the
+// sender-side counters and timer handles. Restore writes back into the SAME
+// live *peerState objects so any pending closures keep seeing them.
+type snapshot struct {
+	peers   map[ident.ID]peerState
+	seq     uint64
+	stopped bool
+	beat    node.Timer
+	check   node.Timer
+}
+
+// Snapshot implements node.Cloneable.
+func (n *Node) Snapshot() any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peers := make(map[ident.ID]peerState, n.peers.Len())
+	n.peers.ForEach(func(p ident.ID, st *peerState) bool {
+		saved := *st
+		saved.win.samples = append([]float64(nil), st.win.samples...)
+		peers[p] = saved
+		return true
+	})
+	return &snapshot{peers: peers, seq: n.seq, stopped: n.stopped, beat: n.beat, check: n.check}
+}
+
+// Restore implements node.Cloneable.
+func (n *Node) Restore(snap any) {
+	s := snap.(*snapshot)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for p, saved := range s.peers {
+		st := n.peers.Get(p)
+		samples := append(st.win.samples[:0], saved.win.samples...)
+		*st = saved
+		st.win.samples = samples
+	}
+	n.seq = s.seq
+	n.stopped = s.stopped
+	n.beat = s.beat
+	n.check = s.check
+}
+
 // Suspects implements fd.Detector.
 func (n *Node) Suspects() ident.Set {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var out ident.Set
-	for p, st := range n.peers {
+	n.peers.ForEach(func(p ident.ID, st *peerState) bool {
 		if st.suspected {
 			out.Add(p)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -349,6 +407,6 @@ func (n *Node) Suspects() ident.Set {
 func (n *Node) IsSuspected(id ident.ID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st, ok := n.peers[id]
-	return ok && st.suspected
+	st := n.peers.Get(id)
+	return st != nil && st.suspected
 }

@@ -114,6 +114,30 @@ func (j *Judge) pairEpisodes(observer, subject ident.ID) []episode {
 	return j.index[key(observer, subject)]
 }
 
+// SuspectedInTail returns the set of subjects suspected by any observer at or
+// after cut: a subject qualifies when some pair holds a suspicion episode
+// that begins at or after the cut, spans it, or never closes. It is the
+// episode-index equivalent of scanning the raw trace for post-cut suspicion
+// transitions plus probing every pair's state at the cut instant — one pass
+// over the index instead of O(pairs·events) — and backs the E6 tail metric.
+func (j *Judge) SuspectedInTail(cut time.Duration) ident.Set {
+	j.build()
+	var out ident.Set
+	for k, eps := range j.index {
+		subject := ident.ID(uint32(k))
+		if out.Has(subject) {
+			continue
+		}
+		for _, ep := range eps {
+			if ep.start >= cut || ep.end == -1 || ep.end > cut {
+				out.Add(subject)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // DetectionTimes measures, for a subject that crashed, the time from the
 // crash until each observer's *permanent* suspicion (the suspicion episode
 // that never ends). Observers already suspecting the subject when it crashed

@@ -79,6 +79,25 @@ func (l *Log) Reset() {
 	l.events = l.events[:0]
 }
 
+// Mark returns the current log length, a checkpoint for TruncateTo. The log
+// is append-only during a run, so (Mark, TruncateTo) rolls it back exactly —
+// the trace half of the simulation snapshot/fork primitive.
+func (l *Log) Mark() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// TruncateTo drops every event recorded after the checkpoint mark. Marks
+// beyond the current length are a no-op.
+func (l *Log) TruncateTo(mark int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mark >= 0 && mark < len(l.events) {
+		l.events = l.events[:mark]
+	}
+}
+
 // FirstSuspicion returns the earliest time observer suspected subject, or
 // ok=false if it never did.
 func (l *Log) FirstSuspicion(observer, subject ident.ID) (time.Duration, bool) {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	fdbench [-exp all|E1..E8|A1|A2|R1|R2|X1|X2|L1|L5|LT|comma-list] [-quick]
+//	        [-config FILE[,FILE...]]
 //	        [-seed N] [-repeat R] [-parallel N] [-ci] [-json FILE]
 //	        [-queue ladder|heap] [-fork on|off]
 //
@@ -20,6 +21,19 @@
 // size like every other table). -exp also accepts a comma-separated list
 // ("L1,L5,LT"), run in the given order with one combined report — the
 // nightly bench gate uses this.
+//
+// -config runs scenario config files (schema asyncfd-scenario/v1, see
+// internal/scenario and docs/BENCHMARKS.md "Scenario configs") instead of
+// built-in experiments: each file compiles into a cluster, fault schedule
+// and metric set and executes on the same engine the built-ins use, so the
+// tables and -ci rows follow the exact conventions above — a config that
+// mirrors a built-in experiment reproduces it byte-for-byte (the
+// differential tests in internal/exp enforce this). A comma-separated list
+// runs each config in order with one combined report, which is how the CI
+// scenario gate diffs the shipped configs/ library against its committed
+// baseline. -config and -exp are mutually exclusive; -quick selects each
+// config's "quick" overlay when it has one. The report's experiment ids are
+// the scenarios' names.
 //
 // -queue selects the DES kernel's timing-queue implementation: "ladder"
 // (the calendar/ladder queue, default) or "heap" (the binary-heap
@@ -136,6 +150,7 @@ import (
 
 	"asyncfd/internal/des"
 	"asyncfd/internal/exp"
+	"asyncfd/internal/scenario"
 	"asyncfd/internal/stats"
 )
 
@@ -204,6 +219,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	expID := fs.String("exp", "all", "experiment id (E1..E8, A1, A2, R1, R2, X1, X2, L1, L5, LT), a comma-separated list, or 'all'")
+	configPath := fs.String("config", "", "scenario config file(s) to run instead of built-in experiments (asyncfd-scenario/v1 JSON, comma-separated list allowed); mutually exclusive with -exp")
 	quickFlag := fs.Bool("quick", false, "shrink sweeps and horizons")
 	seed := fs.Int64("seed", 1, "base random seed")
 	repeat := fs.Int("repeat", 0, "seed-family size R per cell (0 = default: 1 with -quick, 3 otherwise)")
@@ -214,6 +230,15 @@ func run(args []string) error {
 	forkFlag := fs.String("fork", "", "warm-fork replication: 'on' (default) checkpoints each seed family's warmed prefix and restores it per replicate, 'off' re-simulates the prefix; empty = $DES_FORK, then on. Results are byte-identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	expSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	if *configPath != "" && expSet {
+		return fmt.Errorf("-config and -exp are mutually exclusive; a config file names its own scenario")
 	}
 	if *parallel == 0 {
 		*parallel = -1 // 0 and negative both mean GOMAXPROCS
@@ -270,7 +295,42 @@ func run(args []string) error {
 	// Everything below is timed before rendering, so wall_ns measures
 	// simulation work only and is identical whether tables are printed.
 	var results []exp.Result
-	if strings.EqualFold(*expID, "all") {
+	if *configPath != "" {
+		// Scenario configs, run in the given order with one combined report
+		// (the CI scenario gate runs the shipped configs/ library this way).
+		for _, path := range strings.Split(*configPath, ",") {
+			path = strings.TrimSpace(path)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			sc, err := scenario.Parse(data, *quickFlag)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			engineStats := &exp.EngineStats{}
+			eOpts := opts
+			eOpts.Stats = engineStats
+			if opts.Samples != nil {
+				eOpts.Samples = &stats.Collector{}
+			}
+			t0 := time.Now()
+			tbl, err := exp.ScenarioTable(sc, eOpts)
+			if err != nil {
+				return fmt.Errorf("%s: scenario %s: %w", path, sc.Name, err)
+			}
+			wall := time.Since(t0)
+			report.WallNS += wall.Nanoseconds()
+			r := exp.Result{
+				ID: sc.Name, Table: tbl, Wall: wall,
+				Events: engineStats.Events.Load(), Runs: engineStats.Runs.Load(),
+			}
+			if eOpts.Samples != nil {
+				r.Rows = eOpts.Samples.Rows()
+			}
+			results = append(results, r)
+		}
+	} else if strings.EqualFold(*expID, "all") {
 		// The pooled sweep: experiment- and cell-level fan-out share one
 		// Workers()-sized gate, so small experiments overlap the big ones.
 		t0 := time.Now()

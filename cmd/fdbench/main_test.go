@@ -81,6 +81,88 @@ func TestV2ReportAlwaysCarriesRepeat(t *testing.T) {
 	}
 }
 
+// minimalScenarioDoc is a small but complete asyncfd-scenario/v1 config for
+// the -config CLI tests.
+const minimalScenarioDoc = `{
+  "schema": "asyncfd-scenario/v1",
+  "name": "cli-demo",
+  "title": "one crash, one detector",
+  "cluster": {
+    "n": 4, "f": 1, "detectors": ["heartbeat"],
+    "delay": {"model": "constant", "d_us": 700}
+  },
+  "faults": {"events": [{"kind": "crash", "at_us": 10000000, "id": 3}]},
+  "measure": {
+    "program": "cluster",
+    "warm_us": 9000000,
+    "horizon_us": 20000000,
+    "metrics": [{"kind": "detection", "name": "det", "victim": 3}],
+    "columns": [{"header": "det avg", "metric": "det", "kind": "fam_ms"}]
+  }
+}`
+
+// writeScenario drops a scenario document into a temp file and returns its
+// path.
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestConfigErrorPaths covers the -config failure modes: every one must exit
+// non-zero with a one-line reason naming the problem, never run a partial
+// sweep or write a bogus report.
+func TestConfigErrorPaths(t *testing.T) {
+	valid := writeScenario(t, minimalScenarioDoc)
+	wrongSchema := writeScenario(t, `{"schema": "asyncfd-scenario/v9"}`)
+	notJSON := writeScenario(t, `not a config`)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"missing file", []string{"-quick", "-config", filepath.Join(t.TempDir(), "absent.json")}, "no such file"},
+		{"unknown schema version", []string{"-quick", "-config", wrongSchema}, "unknown schema version"},
+		{"invalid config body", []string{"-quick", "-config", notJSON}, "scenario:"},
+		{"config and exp conflict", []string{"-quick", "-config", valid, "-exp", "E2"}, "mutually exclusive"},
+		{"unwritable json target", []string{"-quick", "-config", valid, "-json", filepath.Join(t.TempDir(), "no-such-dir", "out.json")}, "no-such-dir"},
+		{"bad file in a list", []string{"-quick", "-config", valid + "," + wrongSchema}, "unknown schema version"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConfigRunsScenario checks the -config happy path: the report carries
+// the scenario under its config-declared name, with v2 rows under -ci.
+func TestConfigRunsScenario(t *testing.T) {
+	path := writeScenario(t, minimalScenarioDoc)
+	exps := readExperiments(t, []string{"-quick", "-config", path, "-ci", "-repeat", "2"})
+	if len(exps) != 1 || exps[0]["id"] != "cli-demo" {
+		t.Fatalf("experiments = %v, want [cli-demo]", exps)
+	}
+	rows, ok := exps[0]["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatal("scenario run carries no v2 rows under -ci")
+	}
+	row, _ := rows[0].(map[string]any)
+	if row["cell"] != "heartbeat" || row["metric"] != "det_avg_ms" {
+		t.Errorf("first row = %v, want cell=heartbeat metric=det_avg_ms", row)
+	}
+}
+
 // readExperiments runs fdbench with args plus a -json target and returns
 // the report's experiment entries.
 func readExperiments(t *testing.T, args []string) []map[string]any {

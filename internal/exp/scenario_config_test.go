@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"asyncfd/internal/scenario"
+	"asyncfd/internal/stats"
+)
+
+func renderTable(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatalf("render %s: %v", tbl.ID, err)
+	}
+	return buf.String()
+}
+
+func parseScenarioFile(t *testing.T, name string) *scenario.Scenario {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "scenario", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Parse(data, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestConfigMatchesBuiltin is the differential bar of the scenario
+// subsystem: the committed mirror configs must render byte-identical
+// tables — and collect byte-identical v2 sample rows — to the built-in
+// experiments they transcribe, at every parallelism and in both
+// replication modes. A config drift, an engine drift, or a scheduling
+// nondeterminism all fail here.
+func TestConfigMatchesBuiltin(t *testing.T) {
+	cases := []struct {
+		file    string
+		builtin func(Options) (*Table, error)
+	}{
+		{"r1.json", R1CrashRecovery},
+		{"r2.json", R2PartitionHeal},
+		{"lt.json", LTTopologySweep},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			t.Parallel()
+			sc := parseScenarioFile(t, tc.file)
+			refCol := &stats.Collector{}
+			refTbl, err := tc.builtin(Options{Quick: true, Samples: refCol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRender := renderTable(t, refTbl)
+			refRows := refCol.Rows()
+			for _, parallel := range []int{1, 8} {
+				for _, fork := range []int{1, -1} {
+					col := &stats.Collector{}
+					got, err := ScenarioTable(sc, Options{
+						Quick: true, Parallel: parallel, Fork: fork, Samples: col,
+					})
+					if err != nil {
+						t.Fatalf("parallel=%d fork=%d: %v", parallel, fork, err)
+					}
+					if got.ID != refTbl.ID {
+						t.Errorf("parallel=%d fork=%d: table ID %q, want %q", parallel, fork, got.ID, refTbl.ID)
+					}
+					if render := renderTable(t, got); render != refRender {
+						t.Errorf("parallel=%d fork=%d: table differs from builtin\n--- config\n%s--- builtin\n%s",
+							parallel, fork, render, refRender)
+					}
+					if rows := col.Rows(); !reflect.DeepEqual(rows, refRows) {
+						t.Errorf("parallel=%d fork=%d: v2 rows differ from builtin\nconfig:  %+v\nbuiltin: %+v",
+							parallel, fork, rows, refRows)
+					}
+				}
+			}
+		})
+	}
+}
+
+// replayScenarioDoc exercises the trace-replay delay model inside the full
+// engine: a synthetic heavy-tailed trace, a three-replicate family, one
+// crash. Used by TestScenarioReplayForkDeterminism.
+const replayScenarioDoc = `{
+  "schema": "asyncfd-scenario/v1",
+  "name": "replay-fork",
+  "title": "trace replay under warm-fork replication",
+  "repeat": 3,
+  "cluster": {
+    "n": 5, "f": 1,
+    "detectors": ["async", "heartbeat"],
+    "delay": {"model": "trace", "synthetic": {"seed": 42, "count": 400, "tick_us": 50000, "base_us": 800, "scale_us": 900, "alpha": 1.3, "cap_us": 60000, "loss": 0.02}}
+  },
+  "faults": {"events": [{"kind": "crash", "at_us": 10000000, "id": 4}]},
+  "measure": {
+    "program": "cluster",
+    "warm_us": 9000000,
+    "horizon_us": 25000000,
+    "metrics": [{"kind": "detection", "name": "det", "victim": 4}],
+    "columns": [
+      {"header": "det avg", "metric": "det", "kind": "fam_ms"},
+      {"header": "missing", "metric": "det", "kind": "missing"}
+    ]
+  }
+}`
+
+// TestScenarioReplayForkDeterminism pins the replay delay model to the
+// engine's byte-identity contract: because Replay looks delays up as a pure
+// function of (link, now) and draws nothing from the simulation RNG, a
+// forked replicate — which restores the warm snapshot instead of re-running
+// the warmup — must produce exactly the serial comparator's table and rows,
+// at any worker count.
+func TestScenarioReplayForkDeterminism(t *testing.T) {
+	t.Parallel()
+	sc, err := scenario.Parse([]byte(replayScenarioDoc), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refRender string
+	var refRows []stats.Row
+	for i, mode := range []struct{ parallel, fork int }{
+		{1, -1}, {1, 1}, {8, -1}, {8, 1},
+	} {
+		col := &stats.Collector{}
+		tbl, err := ScenarioTable(sc, Options{Parallel: mode.parallel, Fork: mode.fork, Samples: col})
+		if err != nil {
+			t.Fatalf("parallel=%d fork=%d: %v", mode.parallel, mode.fork, err)
+		}
+		render := renderTable(t, tbl)
+		rows := col.Rows()
+		if i == 0 {
+			refRender, refRows = render, rows
+			continue
+		}
+		if render != refRender {
+			t.Errorf("parallel=%d fork=%d: table differs from serial comparator\n--- got\n%s--- want\n%s",
+				mode.parallel, mode.fork, render, refRender)
+		}
+		if !reflect.DeepEqual(rows, refRows) {
+			t.Errorf("parallel=%d fork=%d: rows differ from serial comparator", mode.parallel, mode.fork)
+		}
+	}
+}

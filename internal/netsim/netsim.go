@@ -476,6 +476,17 @@ func (n *Network) admit(from, to ident.ID, payload any) (time.Duration, bool) {
 		n.stats.Dropped++
 		return 0, false
 	}
+	// A LossModel decides loss and delay in one call (e.g. trace replay with
+	// recorded loss samples); plain models keep the historical single Delay
+	// call so their RNG draw sequence is unchanged.
+	if lm, ok := n.cfg.Delay.(LossModel); ok {
+		delay, deliver := lm.DelayLoss(n.sim.Rand(), from, to, now)
+		if !deliver {
+			n.stats.Dropped++
+			return 0, false
+		}
+		return delay, true
+	}
 	return n.cfg.Delay.Delay(n.sim.Rand(), from, to, now), true
 }
 

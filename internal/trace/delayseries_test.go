@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func testSeries() *DelaySeries {
+	return &DelaySeries{
+		Span: ms(100),
+		Samples: []DelaySample{
+			{At: 0, RTT: ms(2)},
+			{At: ms(10), RTT: ms(4), Loss: true},
+			{At: ms(50), RTT: ms(8)},
+		},
+	}
+}
+
+func TestSampleAtLookup(t *testing.T) {
+	s := testSeries()
+	cases := []struct {
+		t    time.Duration
+		rtt  time.Duration
+		loss bool
+	}{
+		{0, ms(2), false},
+		{ms(5), ms(2), false},
+		{ms(10), ms(4), true}, // exactly on a sample boundary
+		{ms(49), ms(4), true}, // last sample with At <= t governs
+		{ms(50), ms(8), false},
+		{ms(99), ms(8), false},
+		{ms(100), ms(2), false}, // wraps modulo Span
+		{ms(105), ms(2), false},
+		{ms(250), ms(8), false}, // 250 mod 100 = 50
+	}
+	for _, tc := range cases {
+		got := s.SampleAt(tc.t)
+		if got.RTT != tc.rtt || got.Loss != tc.loss {
+			t.Errorf("SampleAt(%v) = {rtt %v loss %v}, want {rtt %v loss %v}",
+				tc.t, got.RTT, got.Loss, tc.rtt, tc.loss)
+		}
+	}
+}
+
+func TestSampleAtWrapBeforeFirstSample(t *testing.T) {
+	// A series whose first sample sits at a positive offset: lookups before
+	// it wrap to the final sample of the previous cycle.
+	s := &DelaySeries{
+		Span: ms(100),
+		Samples: []DelaySample{
+			{At: ms(20), RTT: ms(3)},
+			{At: ms(60), RTT: ms(7)},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SampleAt(ms(5)); got.RTT != ms(7) {
+		t.Errorf("SampleAt before first sample = rtt %v, want wrap to %v", got.RTT, ms(7))
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	s := testSeries()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDelaySeries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Span != s.Span || len(got.Samples) != len(s.Samples) {
+		t.Fatalf("round trip: got span %v / %d samples, want %v / %d",
+			got.Span, len(got.Samples), s.Span, len(s.Samples))
+	}
+	for i := range s.Samples {
+		if got.Samples[i] != s.Samples[i] {
+			t.Errorf("sample %d: got %+v want %+v", i, got.Samples[i], s.Samples[i])
+		}
+	}
+}
+
+func TestParseDelaySeriesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"bad schema", `{"schema":"asyncfd-trace/v9","span_us":1,"samples":[{"at_us":0,"rtt_us":1}]}`, "unknown schema version"},
+		{"unknown field", `{"schema":"asyncfd-trace/v1","span_us":1,"bogus":1,"samples":[]}`, "bogus"},
+		{"empty samples", `{"schema":"asyncfd-trace/v1","span_us":1,"samples":[]}`, "samples: must not be empty"},
+		{"zero span", `{"schema":"asyncfd-trace/v1","span_us":0,"samples":[{"at_us":0,"rtt_us":1}]}`, "span_us"},
+		{"at out of range", `{"schema":"asyncfd-trace/v1","span_us":10,"samples":[{"at_us":10,"rtt_us":1}]}`, "samples[0].at_us"},
+		{"not ascending", `{"schema":"asyncfd-trace/v1","span_us":10,"samples":[{"at_us":5,"rtt_us":1},{"at_us":5,"rtt_us":2}]}`, "samples[1].at_us"},
+		{"negative rtt", `{"schema":"asyncfd-trace/v1","span_us":10,"samples":[{"at_us":0,"rtt_us":-1}]}`, "samples[0].rtt_us"},
+		{"trailing data", `{"schema":"asyncfd-trace/v1","span_us":10,"samples":[{"at_us":0,"rtt_us":1}]}{}`, "trailing"},
+		{"not json", `hello`, "invalid character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDelaySeries([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSyntheticDeterministicAndValid(t *testing.T) {
+	cfg := SyntheticConfig{
+		Seed:     42,
+		Count:    500,
+		Tick:     10 * time.Millisecond,
+		Base:     ms(1),
+		Scale:    ms(1),
+		Alpha:    1.5,
+		Cap:      ms(200),
+		LossRate: 0.05,
+	}
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("synthetic series invalid: %v", err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) || a.Span != b.Span {
+		t.Fatal("same config produced different shapes")
+	}
+	losses := 0
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs across generations: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+		smp := a.Samples[i]
+		if smp.RTT < cfg.Base || smp.RTT > cfg.Cap {
+			t.Fatalf("sample %d rtt %v outside [base, cap]", i, smp.RTT)
+		}
+		if smp.Loss {
+			losses++
+		}
+	}
+	if losses == 0 {
+		t.Error("expected some losses at 5% rate over 500 samples")
+	}
+	// A different seed must produce a different trace.
+	cfg.Seed = 43
+	c, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticConfigErrors(t *testing.T) {
+	base := SyntheticConfig{Seed: 1, Count: 10, Tick: ms(1), Alpha: 1.5}
+	cases := []struct {
+		name   string
+		mutate func(*SyntheticConfig)
+		want   string
+	}{
+		{"zero count", func(c *SyntheticConfig) { c.Count = 0 }, "synthetic.count"},
+		{"huge count", func(c *SyntheticConfig) { c.Count = 1 << 21 }, "synthetic.count"},
+		{"zero tick", func(c *SyntheticConfig) { c.Tick = 0 }, "synthetic.tick_us"},
+		{"negative base", func(c *SyntheticConfig) { c.Base = -1 }, "synthetic.base_us"},
+		{"negative scale", func(c *SyntheticConfig) { c.Scale = -1 }, "synthetic.scale_us"},
+		{"zero alpha", func(c *SyntheticConfig) { c.Alpha = 0 }, "synthetic.alpha"},
+		{"negative cap", func(c *SyntheticConfig) { c.Cap = -1 }, "synthetic.cap_us"},
+		{"loss rate one", func(c *SyntheticConfig) { c.LossRate = 1 }, "synthetic.loss"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			_, err := Synthetic(cfg)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -84,8 +84,8 @@ type peerState struct {
 // Node is an NFD-E detector node. Safe for concurrent use.
 type Node struct {
 	mu      sync.Mutex
-	env     node.Env
-	cfg     Config
+	env     node.Env //fdlint:allow clonefields immutable wiring, set once at construction
+	cfg     Config   //fdlint:allow clonefields immutable config, set once at construction
 	peers   node.DenseMap[*peerState]
 	seq     uint64
 	stopped bool
@@ -342,6 +342,7 @@ func (n *Node) Restore(snap any) {
 	s := snap.(*snapshot)
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	//fdlint:allow maprange per-peer in-place writes; each iteration touches only peer p's state
 	for p, saved := range s.peers {
 		st := n.peers.Get(p)
 		samples := append(st.samples[:0], saved.samples...)

@@ -42,8 +42,8 @@ type NodeConfig struct {
 // goroutines; the simulator from one).
 type Node struct {
 	mu      sync.Mutex
-	env     node.Env
-	cfg     NodeConfig
+	env     node.Env   //fdlint:allow clonefields immutable wiring, set once at construction
+	cfg     NodeConfig //fdlint:allow clonefields immutable config, set once at construction
 	det     *Detector
 	stopped bool
 	pending node.Timer // end-of-round or next-round timer

@@ -141,6 +141,7 @@ func (s *Set) IDSet() ident.Set {
 // ForEach visits entries in unspecified order. If fn returns false the
 // iteration stops.
 func (s *Set) ForEach(fn func(Entry) bool) {
+	//fdlint:allow maprange ForEach documents unspecified order; order-sensitive callers must use Entries()
 	for id, t := range s.m {
 		if !fn(Entry{ID: id, Tag: t}) {
 			return

@@ -91,7 +91,7 @@ func (t *Timer) Stop() bool {
 type Simulator struct {
 	now     time.Duration
 	seq     uint64
-	rng     *rand.Rand
+	rng     *rand.Rand      //fdlint:allow clonefields reconstructed from src's seed and draw count on Restore
 	seed    int64           // seed of the current random stream (see Reseed)
 	src     *countingSource // the stream itself, draw-counted for Snapshot
 	halted  bool
@@ -104,10 +104,11 @@ type Simulator struct {
 	// queue orders far-horizon events by (at, seq); pluggable — see
 	// queue.go (binary-heap reference) and ladder.go (the default).
 	queue     eventQueue
-	queueKind QueueKind
+	queueKind QueueKind //fdlint:allow clonefields immutable config, fixed at construction
 
 	// itemFree recycles the slices batch nodes carry their items in, so
 	// steady-state broadcast fan-outs reuse storage instead of allocating.
+	//fdlint:allow clonefields recycling pool; restoreEvents rebuilds item storage in place
 	itemFree [][]batchItem
 
 	// fifo is the ready bucket: events scheduled for the current instant,

@@ -131,8 +131,8 @@ type Cluster struct {
 	Log     *trace.Log
 	Members ident.Set
 
-	cfg       ClusterConfig
-	detectors map[ident.ID]fd.Detector
+	cfg       ClusterConfig            //fdlint:allow clonefields immutable config, set once at construction
+	detectors map[ident.ID]fd.Detector //fdlint:allow clonefields same runtimes as nodes, checkpointed through nodes in Members order
 	nodes     map[ident.ID]runner
 }
 

@@ -247,7 +247,7 @@ func AllResults(opts Options) ([]Result, error) {
 		if cols != nil {
 			eOpts.Samples = cols[i]
 		}
-		t0 := time.Now()
+		t0 := time.Now() //fdlint:allow walltime observability: wall-clock runtime reported beside results, never feeds simulation
 		tbl, err := e.Fn(eOpts)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
@@ -255,7 +255,7 @@ func AllResults(opts Options) ([]Result, error) {
 		results[i] = Result{
 			ID:     e.ID,
 			Table:  tbl,
-			Wall:   time.Since(t0),
+			Wall:   time.Since(t0), //fdlint:allow walltime observability: wall-clock runtime reported beside results, never feeds simulation
 			Events: eng.Events.Load(),
 			Runs:   eng.Runs.Load(),
 		}

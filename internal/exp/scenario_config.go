@@ -290,6 +290,7 @@ func scenarioTopologyTable(sc *scenario.Scenario, opts Options) (*Table, error) 
 			for r := 0; r < opts.runs(); r++ {
 				seed := opts.seed() + int64(r)*101
 				jobs = append(jobs, func() (ltRun, error) {
+					//fdlint:allow rngdiscipline seed-addressed graph construction before the kernel runs; never interleaves with kernel draws
 					g := ltGraph(topo, n, rand.New(rand.NewSource(seed)))
 					degSum := 0
 					for v := 0; v < n; v++ {

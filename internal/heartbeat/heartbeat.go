@@ -72,8 +72,8 @@ type peerState struct {
 // concurrent use.
 type Node struct {
 	mu        sync.Mutex
-	env       node.Env
-	cfg       Config
+	env       node.Env //fdlint:allow clonefields immutable wiring, set once at construction
+	cfg       Config   //fdlint:allow clonefields immutable config, set once at construction
 	seq       uint64
 	suspected ident.Set
 	peers     node.DenseMap[*peerState]

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"asyncfd/internal/lint"
+	"asyncfd/internal/lint/linttest"
+)
+
+func TestCloneFields(t *testing.T) {
+	linttest.Run(t, lint.CloneFields,
+		"asyncfd/internal/netsim/cffix",
+	)
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"asyncfd/internal/lint"
+	"asyncfd/internal/lint/linttest"
+)
+
+func TestErrPrefix(t *testing.T) {
+	linttest.Run(t, lint.ErrPrefix,
+		"asyncfd/internal/scenario/epfix",
+		"asyncfd/internal/qos/epfix",
+	)
+}

@@ -1,0 +1,519 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapRange flags `range` over a map in simulation packages unless the loop is
+// provably order-insensitive. Go randomizes map iteration order, so any map
+// order that leaks into simulation behavior breaks the byte-identity
+// guarantee (PR 3 shipped exactly this bug: phiaccrual/chen iterated peer
+// maps in map order, so same-seed traces diverged across runs).
+//
+// A loop body is accepted as order-insensitive when every statement is one of:
+//
+//   - a write to a map element (last-write-wins per distinct key) or delete;
+//   - commutative integer/boolean accumulation (+=, -=, |=, &=, ^=, ++, --);
+//   - an append whose target slice is sorted later in the same function
+//     (the collect-keys-then-sort idiom);
+//   - control flow (if/for/switch/continue/break) over such statements with
+//     side-effect-free conditions;
+//   - declarations of loop-local variables.
+//
+// Calls inside the body are accepted only when they are conversions, pure
+// builtins, calls rooted at the iteration variables or loop-locals (assumed
+// element-local, e.g. `out[id] = s.Clone()`), or calls into a small allowlist
+// of pure stdlib packages. Anything else — early returns, sends, appends
+// without a later sort, float accumulation, calls that can reach shared
+// state — is reported. Sort the keys first, restructure the body, or annotate
+// `//fdlint:allow maprange <reason>`.
+var MapRange = &analysis.Analyzer{
+	Name:     mapRangeName,
+	Doc:      "flags order-sensitive iteration over maps in simulation packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (any, error) {
+	if !isSim(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if allowed(pass, rs, mapRangeName) {
+			return true
+		}
+		chk := &mapRangeChecker{pass: pass, rng: rs, fnBody: enclosingFuncBody(stack)}
+		chk.collectLoopLocals()
+		if chk.blockOK(rs.Body) {
+			return true
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: rs.Pos(),
+			Message: fmt.Sprintf(
+				"range over map %s is order-sensitive (%s); iterate sorted keys, make the body commutative, or annotate //fdlint:allow maprange <reason>",
+				types.ExprString(rs.X), chk.why),
+		})
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function enclosing the
+// node at the top of the stack, for the sorted-later scan.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// mapRangeChecker walks a map-range body and records the first
+// order-sensitive construct it finds.
+type mapRangeChecker struct {
+	pass   *analysis.Pass
+	rng    *ast.RangeStmt
+	fnBody *ast.BlockStmt
+	locals map[types.Object]bool // iteration vars + vars defined inside the body
+	why    string
+}
+
+func (c *mapRangeChecker) fail(n ast.Node, format string, args ...any) bool {
+	if c.why == "" {
+		pos := c.pass.Fset.Position(n.Pos())
+		c.why = fmt.Sprintf(format, args...) + fmt.Sprintf(" at line %d", pos.Line)
+	}
+	return false
+}
+
+// collectLoopLocals gathers the iteration variables and every variable
+// defined inside the loop body; calls rooted at these are element-local.
+func (c *mapRangeChecker) collectLoopLocals() {
+	c.locals = make(map[types.Object]bool)
+	for _, e := range []ast.Expr{c.rng.Key, c.rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				c.locals[obj] = true
+			}
+		}
+	}
+	ast.Inspect(c.rng.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			c.locals[obj] = true
+		}
+		return true
+	})
+}
+
+func (c *mapRangeChecker) blockOK(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *mapRangeChecker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.BlockStmt:
+		return c.blockOK(s)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			return true
+		}
+		return c.fail(s, "%s out of the loop", s.Tok)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR && gd.Tok != token.CONST {
+			return c.fail(s, "declaration")
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					if !c.exprOK(v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		if !c.integerLValue(s.X) {
+			return c.fail(s, "%s on non-integer accumulator", s.Tok)
+		}
+		return c.exprOK(s.X)
+	case *ast.ExprStmt:
+		return c.exprOK(s.X)
+	case *ast.IfStmt:
+		if !c.stmtOK(s.Init) || !c.exprOK(s.Cond) || !c.blockOK(s.Body) {
+			return false
+		}
+		return c.stmtOK(s.Else)
+	case *ast.ForStmt:
+		return c.stmtOK(s.Init) && (s.Cond == nil || c.exprOK(s.Cond)) &&
+			c.stmtOK(s.Post) && c.blockOK(s.Body)
+	case *ast.RangeStmt:
+		// A nested range over a map is checked by its own visit; only its
+		// operand needs vetting here. Other nested ranges follow body rules.
+		if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return c.exprOK(s.X)
+			}
+		}
+		return c.exprOK(s.X) && c.blockOK(s.Body)
+	case *ast.SwitchStmt:
+		if !c.stmtOK(s.Init) || s.Tag != nil && !c.exprOK(s.Tag) {
+			return false
+		}
+		return c.caseClausesOK(s.Body)
+	case *ast.TypeSwitchStmt:
+		if !c.stmtOK(s.Init) || !c.stmtOK(s.Assign) {
+			return false
+		}
+		return c.caseClausesOK(s.Body)
+	default:
+		return c.fail(s, "%T", s)
+	}
+}
+
+func (c *mapRangeChecker) caseClausesOK(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			return c.fail(cl, "%T", cl)
+		}
+		for _, e := range cc.List {
+			if !c.exprOK(e) {
+				return false
+			}
+		}
+		for _, s := range cc.Body {
+			if !c.stmtOK(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *mapRangeChecker) assignOK(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		for _, r := range s.Rhs {
+			if !c.exprOK(r) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		// xs = append(xs, ...) is the collect-then-sort idiom: accepted only
+		// when xs is demonstrably sorted later in the same function.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "append") {
+				for _, a := range call.Args {
+					if !c.exprOK(a) {
+						return false
+					}
+				}
+				if c.sortedLater(s.Lhs[0]) {
+					return true
+				}
+				return c.fail(s, "append to %s with no later sort", types.ExprString(s.Lhs[0]))
+			}
+		}
+		for _, l := range s.Lhs {
+			if !c.lhsOK(l) {
+				return false
+			}
+		}
+		for _, r := range s.Rhs {
+			if !c.exprOK(r) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative for integers; float addition is not associative
+		// bit-for-bit, so float accumulation in map order is a real bug.
+		if !c.integerLValue(s.Lhs[0]) {
+			return c.fail(s, "non-integer %s accumulation", s.Tok)
+		}
+		return c.exprOK(s.Rhs[0])
+	default:
+		return c.fail(s, "%s assignment", s.Tok)
+	}
+}
+
+// lhsOK accepts assignment targets that are order-insensitive: blank, a map
+// element (one write per distinct key), loop-local variables, or fields and
+// elements reached through a loop-local.
+func (c *mapRangeChecker) lhsOK(l ast.Expr) bool {
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return true
+		}
+		if obj := c.pass.TypesInfo.ObjectOf(l); obj != nil && c.locals[obj] {
+			return true
+		}
+		return c.fail(l, "last-write-wins assignment to %s", l.Name)
+	case *ast.IndexExpr:
+		if tv, ok := c.pass.TypesInfo.Types[l.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return c.exprOK(l.X) && c.exprOK(l.Index)
+			}
+		}
+		if c.rootIsLocal(l) {
+			return c.exprOK(l.Index)
+		}
+		return c.fail(l, "assignment through %s", types.ExprString(l))
+	case *ast.SelectorExpr, *ast.StarExpr:
+		if c.rootIsLocal(l) {
+			return true
+		}
+		return c.fail(l, "assignment through %s", types.ExprString(l))
+	default:
+		return c.fail(l, "assignment to %s", types.ExprString(l))
+	}
+}
+
+func (c *mapRangeChecker) integerLValue(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// pureStdlib is the allowlist of stdlib packages whose functions cannot
+// reach simulation state.
+var pureStdlib = map[string]bool{
+	"math": true, "strings": true, "strconv": true,
+	"cmp": true, "unicode": true, "unicode/utf8": true,
+}
+
+// pureFmt are the allocation-only fmt functions (no I/O).
+var pureFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// exprOK vets an expression: no calls that can reach shared state, no
+// function literals, no channel operations.
+func (c *mapRangeChecker) exprOK(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !c.callOK(n) {
+				ok = false
+				return false
+			}
+		case *ast.FuncLit:
+			ok = c.fail(n, "function literal")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = c.fail(n, "channel receive")
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// callOK accepts conversions, pure builtins, calls rooted at loop-local
+// values (assumed element-local), and the pure stdlib allowlist.
+func (c *mapRangeChecker) callOK(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	// Type conversions.
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		return true
+	}
+	// Builtins: len/cap/min/max/make/new/delete/abs are order-insensitive.
+	for _, name := range []string{"len", "cap", "min", "max", "make", "new", "delete"} {
+		if isBuiltin(c.pass, fun, name) {
+			return true
+		}
+	}
+	if isBuiltin(c.pass, fun, "append") {
+		return c.fail(call, "append outside a sorted-later assignment")
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if c.commutativeCall(sel) {
+			return true
+		}
+		if pkg := selectorPkg(c.pass, sel); pkg != nil {
+			path := pkg.Imported().Path()
+			if pureStdlib[path] || path == "fmt" && pureFmt[sel.Sel.Name] {
+				return true
+			}
+			return c.fail(call, "call to %s.%s", pkg.Name(), sel.Sel.Name)
+		}
+		if c.rootIsLocal(sel.X) {
+			return true
+		}
+	}
+	return c.fail(call, "call to %s", types.ExprString(fun))
+}
+
+// rootIsLocal reports whether the base of a selector/index/deref chain is an
+// iteration variable or a variable defined inside the loop body.
+func (c *mapRangeChecker) rootIsLocal(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.ObjectOf(x)
+			return obj != nil && c.locals[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortFuncs maps package path -> function names that sort their argument.
+// ident.SortIDs is the project's canonical ID sort, so collect-then-SortIDs
+// is recognized alongside the stdlib idioms.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices":                 {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+	"asyncfd/internal/ident": {"SortIDs": true},
+}
+
+// commutativeMethods lists methods that are commutative, idempotent
+// accumulator operations (or pure reads) on their receiver, keyed by the
+// receiver's fully qualified type: calling them from a map range is
+// order-insensitive. ident.Set is a bitset; Add/Remove commute and Has only
+// reads.
+var commutativeMethods = map[string]map[string]bool{
+	"asyncfd/internal/ident.Set": {"Add": true, "Remove": true, "Has": true},
+}
+
+// commutativeCall reports whether sel names a commutativeMethods entry.
+func (c *mapRangeChecker) commutativeCall(sel *ast.SelectorExpr) bool {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return commutativeMethods[key][fn.Name()]
+}
+
+// sortedLater reports whether target (an identifier) is passed to a sort
+// call after the range statement, inside the same function body.
+func (c *mapRangeChecker) sortedLater(target ast.Expr) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok || c.fnBody == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := selectorPkg(c.pass, sel)
+		if pkg == nil || !sortFuncs[pkg.Imported().Path()][sel.Sel.Name] {
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok &&
+			c.pass.TypesInfo.ObjectOf(arg) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether fun resolves to the named universe builtin.
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isB
+}
+
+// selectorPkg returns the *types.PkgName if sel.X names an imported package.
+func selectorPkg(pass *analysis.Pass, sel *ast.SelectorExpr) *types.PkgName {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkg, _ := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	return pkg
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// RNGDiscipline flags math/rand source construction (rand.New,
+// rand.NewSource, and the v2 equivalents) outside internal/des. The kernel
+// wraps its RNG in a counting source so snapshots record the draw position
+// and restores replay it lazily (PR 7's fork-safety): an RNG constructed
+// anywhere else draws outside that accounting, so a forked replicate silently
+// diverges from its serial comparator. Live packages are exempt; everything
+// else — including neutral support packages — must either route draws through
+// the kernel RNG or annotate the construction with a reason why its stream
+// can never interleave with kernel draws.
+var RNGDiscipline = &analysis.Analyzer{
+	Name:     rngDisciplineName,
+	Doc:      "flags math/rand source construction outside internal/des",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRNGDiscipline,
+}
+
+// rngConstructors maps package path -> constructor names that mint a new
+// source or generator.
+var rngConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+}
+
+func runRNGDiscipline(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if underTree(path, rngOwnerPath) || isLive(path) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		pkg := selectorPkg(pass, sel)
+		if pkg == nil || !rngConstructors[pkg.Imported().Path()][sel.Sel.Name] {
+			return
+		}
+		if allowed(pass, call, rngDisciplineName) {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf(
+				"rand.%s outside internal/des: RNGs must come from the seeded draw-counted kernel so forks replay exactly (or annotate //fdlint:allow rngdiscipline <reason>)",
+				sel.Sel.Name),
+		})
+	})
+	return nil, nil
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Diag is one finding, bound to its analyzer.
+type Diag struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// RunAnalyzers runs the given analyzers (and their Requires closure, in
+// dependency order) over one type-checked package and returns the findings.
+// It is the single execution engine behind both cmd/fdlint and the
+// linttest fixture harness; fact-based analyzers are not supported.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*analysis.Analyzer) ([]Diag, error) {
+
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var out []Diag
+	results := make(map[*analysis.Analyzer]any)
+	ran := make(map[*analysis.Analyzer]bool)
+
+	var run func(a *analysis.Analyzer) error
+	run = func(a *analysis.Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		resultOf := make(map[*analysis.Analyzer]any, len(a.Requires))
+		for _, req := range a.Requires {
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, Diag{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %w", a.Name, pkg.Path(), err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := run(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+// Package rngfix seeds rngdiscipline fixtures in a simulation package that is
+// not the RNG owner (only internal/des may construct generators).
+package rngfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func mint(seed int64) *rand.Rand {
+	src := rand.NewSource(seed) // want `rand\.NewSource outside internal/des`
+	return rand.New(src)        // want `rand\.New outside internal/des`
+}
+
+func mintV2(a, b uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(a, b)) // want `rand\.New outside internal/des` `rand\.NewPCG outside internal/des`
+}
+
+// drawOnly: package-level draws on the global source are walltime's concern,
+// not rngdiscipline's.
+func drawOnly() int { return rand.Intn(3) }
+
+// allowSeeded is the annotated hatch: this generator is fully consumed before
+// the kernel runs, so its stream never interleaves with kernel draws.
+func allowSeeded(seed int64) *rand.Rand {
+	//fdlint:allow rngdiscipline seed-addressed construction before the kernel runs
+	return rand.New(rand.NewSource(seed))
+}

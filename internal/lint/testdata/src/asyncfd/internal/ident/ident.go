@@ -1,0 +1,22 @@
+// Package ident is a fixture stub of the real asyncfd/internal/ident: just
+// enough surface for the maprange fixtures to exercise the project-aware
+// tables (ident.Set commutative methods, ident.SortIDs).
+package ident
+
+// ID is a process identity.
+type ID uint32
+
+// Set is a bitset of process identities.
+type Set struct{ bits []uint64 }
+
+// Add inserts id (commutative, idempotent).
+func (s *Set) Add(id ID) { s.bits = append(s.bits, uint64(id)) }
+
+// Remove deletes id (commutative, idempotent).
+func (s *Set) Remove(id ID) {}
+
+// Has reports membership.
+func (s *Set) Has(id ID) bool { return false }
+
+// SortIDs sorts ids ascending, in place, and returns them.
+func SortIDs(ids []ID) []ID { return ids }

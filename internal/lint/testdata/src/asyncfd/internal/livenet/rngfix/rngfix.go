@@ -1,0 +1,7 @@
+// Package rngfix exercises the live-package exemption for rngdiscipline: live
+// transports may mint their own jitter sources.
+package rngfix
+
+import "math/rand"
+
+func jitterSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

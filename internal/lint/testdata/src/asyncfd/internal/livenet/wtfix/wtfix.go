@@ -1,0 +1,12 @@
+// Package wtfix exercises the live-package exemption: real clocks and the
+// global rand source are this tree's job, so nothing below is flagged.
+package wtfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func jitter() time.Duration { return time.Duration(rand.Intn(50)) * time.Millisecond }

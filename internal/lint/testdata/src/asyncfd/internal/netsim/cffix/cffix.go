@@ -1,0 +1,85 @@
+// Package cffix seeds clonefields fixtures: Snapshot/Clone methods that miss
+// receiver fields, plus the shapes the analyzer accepts (whole-copy, sibling
+// methods, per-field and per-method annotations).
+package cffix
+
+type state struct {
+	seq   uint64
+	inbox []int
+	cache map[int]int //fdlint:allow clonefields derived cache, rebuilt lazily on Restore
+}
+
+func (s *state) Snapshot() *state { // want `state\.Snapshot does not reference field\(s\) inbox`
+	return &state{seq: s.seq}
+}
+
+type full struct {
+	seq   uint64
+	inbox []int
+}
+
+func (f *full) Snapshot() *full {
+	cp := &full{seq: f.seq}
+	cp.inbox = append([]int(nil), f.inbox...)
+	return cp
+}
+
+// Clone copies the whole receiver: every field is captured by *f.
+func (f *full) Clone() full { return *f }
+
+type scalar struct{ a, b int }
+
+// Clone on a value receiver: returning the bare receiver copies the struct.
+func (s scalar) Clone() scalar { return s }
+
+type layered struct {
+	head int
+	tail []int
+}
+
+// Snapshot delegates tail to a sibling method; the analyzer follows the call.
+func (l *layered) Snapshot() *layered {
+	cp := &layered{head: l.head}
+	l.copyTail(cp)
+	return cp
+}
+
+func (l *layered) copyTail(dst *layered) {
+	dst.tail = append([]int(nil), l.tail...)
+}
+
+type ephemeral struct {
+	live    int
+	scratch []byte
+}
+
+//fdlint:allow clonefields scratch is dead between calls; method-level hatch
+func (e *ephemeral) Snapshot() *ephemeral {
+	return &ephemeral{live: e.live}
+}
+
+type sloppy struct {
+	kept    int
+	dropped int //fdlint:allow clonefields
+}
+
+// Snapshot is still flagged: the field annotation above has no reason.
+func (s *sloppy) Snapshot() *sloppy { // want `sloppy\.Snapshot does not reference field\(s\) dropped`
+	return &sloppy{kept: s.kept}
+}
+
+type wide struct {
+	a, b, c int
+}
+
+func (w *wide) Snapshot() *wide { // want `wide\.Snapshot does not reference field\(s\) b, c`
+	return &wide{a: w.a}
+}
+
+type padded struct {
+	_ [8]byte
+	n int
+}
+
+// Snapshot ignores the blank padding field.
+func (p *padded) Snapshot() *padded { return &padded{n: p.n} }

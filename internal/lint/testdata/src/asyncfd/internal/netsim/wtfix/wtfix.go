@@ -1,0 +1,44 @@
+// Package wtfix seeds walltime fixtures in a simulation-classified package
+// (asyncfd/internal/netsim/... is Sim in the shared classification table).
+package wtfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func nap(d time.Duration) {
+	time.Sleep(d) // want `wall-clock time\.Sleep`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since`
+}
+
+func expire(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `wall-clock time\.After`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `global rand\.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// durationMath uses time only for arithmetic and constants: fine.
+func durationMath(d time.Duration) time.Duration { return d + 5*time.Millisecond }
+
+// constructorNotDraw: rand.New/NewSource are rngdiscipline's concern; the
+// walltime check covers only the global-source draw functions.
+func constructorNotDraw(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// allowObservability is the annotated escape hatch.
+func allowObservability() time.Time {
+	return time.Now() //fdlint:allow walltime observability only, never feeds simulation
+}

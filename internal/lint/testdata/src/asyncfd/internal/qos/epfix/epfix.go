@@ -1,0 +1,7 @@
+// Package epfix is the out-of-scope control: errprefix applies only to the
+// scenario tree, so unprefixed constructors elsewhere are not flagged.
+package epfix
+
+import "errors"
+
+var errPlain = errors.New("plain message, no prefix")

@@ -1,0 +1,32 @@
+// Package epfix seeds errprefix fixtures inside the scenario tree, where
+// every constructed error must carry the "scenario: " prefix.
+package epfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errMissing = errors.New("missing detector block") // want `errors\.New message "missing detector block" lacks the "scenario: " field-path prefix`
+
+func badErrorf(n int) error {
+	return fmt.Errorf("replicas %d out of range", n) // want `fmt\.Errorf message "replicas %d out of range" lacks the "scenario: " field-path prefix`
+}
+
+func good(name string) error {
+	return fmt.Errorf("scenario: detector.%s: unknown kind", name)
+}
+
+// errf mirrors the real helper: a concatenation counts through its leftmost
+// literal operand.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("scenario: "+format, args...)
+}
+
+// nonLiteral formats cannot be proven either way and are skipped.
+func nonLiteral(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// errSentinel is wrapped with errf by every caller, so the hatch applies.
+var errSentinel = errors.New("trailing data") //fdlint:allow errprefix callers wrap with errf before returning

@@ -100,8 +100,8 @@ type fanoutEntry struct {
 // Network is the simulated medium. All methods must be called from the
 // simulation goroutine (i.e., inside DES events or before the run starts).
 type Network struct {
-	sim *des.Simulator
-	cfg Config
+	sim *des.Simulator //fdlint:allow clonefields immutable kernel reference
+	cfg Config         //fdlint:allow clonefields immutable config, set once at construction
 	// handlers is a dense slab indexed by ID (nil = unregistered); process
 	// identities are small dense integers, so a slice beats a map on every
 	// delivery lookup.
@@ -115,6 +115,7 @@ type Network struct {
 	topoEpoch uint64
 	// fanout caches per-node broadcast fan-out lists, rebuilt lazily when
 	// their epoch stamp is stale.
+	//fdlint:allow clonefields derived cache; Restore invalidates it wholesale and rebuilds lazily
 	fanout []fanoutEntry
 	// filters is the composable veto stack: a message is admitted only if
 	// every installed filter passes.
@@ -128,6 +129,7 @@ type Network struct {
 	// Broadcast calls (Batch reads it synchronously, and the kernel pools
 	// the per-node item storage itself), so steady-state gossip stops
 	// allocating one slice per broadcast.
+	//fdlint:allow clonefields scratch buffer; contents are dead between Broadcast calls
 	bcast []des.BatchItem
 }
 

@@ -57,6 +57,7 @@ func strictUnmarshal(data []byte, v any) error {
 		return err
 	}
 	if dec.More() {
+		//fdlint:allow errprefix callers wrap decode errors with errf, which adds the prefix
 		return fmt.Errorf("trailing data after JSON document")
 	}
 	return nil
@@ -840,6 +841,7 @@ func compileGenerator(path string, raw json.RawMessage, n int) (faults.Schedule,
 		if r.Count < 1 || r.Count > len(cands) {
 			return nil, errf("%s.count: must be in [1, len(candidates)=%d], got %d", path, len(cands), r.Count)
 		}
+		//fdlint:allow rngdiscipline deterministic generator expansion at parse time, outside any kernel
 		return faults.Uniform(rand.New(rand.NewSource(r.Seed)), cands, r.Count, start, end), nil
 	case "":
 		return nil, errf("%s.kind: required (flap, crash-burst or uniform-crashes)", path)

@@ -241,6 +241,7 @@ func Synthetic(cfg SyntheticConfig) (*DelaySeries, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	//fdlint:allow rngdiscipline seeded synthesizer runs at config-build time, outside any kernel
 	r := rand.New(rand.NewSource(cfg.Seed))
 	s := &DelaySeries{
 		Span:    time.Duration(cfg.Count) * cfg.Tick,

@@ -1,0 +1,43 @@
+package heartbeat
+
+import "time"
+
+// Estimator is the shard-callable core of the heartbeat detector: the
+// fixed-timeout rule Θ with no Env, goroutine or timer machinery. A shard
+// worker (internal/liveshard) owns one Estimator per monitored peer, feeds
+// it heartbeat arrival times via Observe and polls Suspected on its scan
+// tick. All times are offsets on the caller's clock; the Estimator never
+// reads a clock itself, so it is trivially testable and runs identically
+// under simulated and wall-clock time.
+//
+// The zero value is not ready: use NewEstimator, which primes the estimator
+// as if a heartbeat arrived at the given instant (the start of monitoring
+// counts as the last sighting, avoiding instant suspicion — the same
+// bootstrap Node.Start uses).
+type Estimator struct {
+	timeout time.Duration
+	last    time.Duration
+}
+
+// NewEstimator builds an estimator with suspicion timeout Θ, primed as if a
+// heartbeat arrived at now.
+func NewEstimator(timeout, now time.Duration) *Estimator {
+	return &Estimator{timeout: timeout, last: now}
+}
+
+// Observe records a heartbeat arrival at time at. Out-of-order arrivals
+// (at before the last sighting) are ignored — the freshest sighting wins.
+func (e *Estimator) Observe(at time.Duration) {
+	if at > e.last {
+		e.last = at
+	}
+}
+
+// Suspected reports whether the peer is suspected at time now: silence has
+// exceeded the timeout.
+func (e *Estimator) Suspected(now time.Duration) bool {
+	return now-e.last > e.timeout
+}
+
+// Last returns the time of the freshest sighting (diagnostics).
+func (e *Estimator) Last() time.Duration { return e.last }

@@ -40,6 +40,7 @@ var classTable = map[string]Class{
 	"asyncfd/internal/faults":     Sim,
 	"asyncfd/internal/topology":   Sim,
 	"asyncfd/internal/livenet":    Live,
+	"asyncfd/internal/liveshard":  Live,
 	"asyncfd/internal/tcpnet":     Live,
 	"asyncfd/examples":            Live,
 	"asyncfd/cmd":                 Live,

@@ -14,11 +14,19 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asyncfd/internal/ident"
 	"asyncfd/internal/node"
 )
+
+// DefaultMailbox is the default per-process mailbox capacity. Deliveries
+// beyond a full mailbox park their timer goroutine until the dispatcher
+// drains (counted by Parked); capacity 1 — the old behavior — parked on
+// every concurrent delivery and piled up goroutines without bound under
+// load.
+const DefaultMailbox = 256
 
 // Config parameterizes the live network.
 type Config struct {
@@ -29,6 +37,10 @@ type Config struct {
 	MinDelay, MaxDelay time.Duration
 	// DropRate is the probability a message is lost (0 = reliable).
 	DropRate float64
+	// Mailbox is the per-process mailbox capacity (default DefaultMailbox).
+	// A burst of up to Mailbox deliveries to one process never parks a
+	// timer goroutine.
+	Mailbox int
 }
 
 type delivery struct {
@@ -51,6 +63,9 @@ type Network struct {
 	done    chan struct{} // closed by Close
 	pending sync.WaitGroup
 	dispers sync.WaitGroup
+
+	parked    atomic.Uint64 // deliveries that blocked on a full mailbox
+	delivered atomic.Uint64 // deliveries handed to a mailbox
 }
 
 // New builds a live network.
@@ -60,6 +75,9 @@ func New(cfg Config) *Network {
 	}
 	if cfg.MaxDelay < cfg.MinDelay {
 		cfg.MaxDelay = cfg.MinDelay + 2*time.Millisecond
+	}
+	if cfg.Mailbox <= 0 {
+		cfg.Mailbox = DefaultMailbox
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -89,13 +107,22 @@ func (n *Network) AddNode(id ident.ID, h node.Handler) *Env {
 		net:     n,
 		id:      id,
 		handler: h,
-		mailbox: make(chan delivery, 1),
+		mailbox: make(chan delivery, n.cfg.Mailbox),
 	}
 	n.nodes[id] = env
 	n.dispers.Add(1)
 	go env.dispatch(&n.dispers)
 	return env
 }
+
+// Parked reports how many deliveries have blocked their timer goroutine on
+// a full mailbox so far. A burst of up to Config.Mailbox deliveries per
+// process never parks; a sustained overload parks (and the count makes the
+// pileup observable instead of silent).
+func (n *Network) Parked() uint64 { return n.parked.Load() }
+
+// Delivered reports how many deliveries have been handed to a mailbox.
+func (n *Network) Delivered() uint64 { return n.delivered.Load() }
 
 // Crash marks id crashed: no more sends, deliveries or timer callbacks.
 func (n *Network) Crash(id ident.ID) {
@@ -260,8 +287,19 @@ func (e *Env) Send(to ident.ID, payload any) {
 	n.mu.Unlock()
 
 	n.after(to, delay, func() {
+		d := delivery{from: e.id, payload: payload}
 		select {
-		case dst.mailbox <- delivery{from: e.id, payload: payload}:
+		case dst.mailbox <- d:
+			n.delivered.Add(1)
+			return
+		default:
+		}
+		// Full mailbox: the timer goroutine parks until the dispatcher
+		// drains (or the network closes). Counted so overload is visible.
+		n.parked.Add(1)
+		select {
+		case dst.mailbox <- d:
+			n.delivered.Add(1)
 		case <-n.done:
 		}
 	})

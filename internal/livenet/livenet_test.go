@@ -120,6 +120,77 @@ func TestCrashedTimersSuppressed(t *testing.T) {
 	}
 }
 
+// TestMailboxBurstDoesNotPark is the regression test for the capacity-1
+// mailbox bug: under load every delivery parked its timer goroutine on the
+// mailbox send, piling up goroutines without bound. The contract now is
+// that a burst of up to Config.Mailbox deliveries to one process never
+// parks, and overloads beyond that are counted by Parked.
+func TestMailboxBurstDoesNotPark(t *testing.T) {
+	const box = 8
+	n := New(Config{MinDelay: 50 * time.Microsecond, MaxDelay: 100 * time.Microsecond, Mailbox: box})
+	defer n.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var got atomic.Int64
+	n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	n.AddNode(1, node.HandlerFunc(func(ident.ID, any) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate // wedge the dispatcher so the mailbox actually buffers
+		got.Add(1)
+	}))
+	sender := n.nodes[0]
+
+	// One delivery wedges the dispatcher; up to box more fit the mailbox.
+	// None of these may park.
+	for i := 0; i < box+1; i++ {
+		sender.Send(1, i)
+	}
+	<-entered
+	waitUntil(t, func() bool { return n.Delivered() == box+1 })
+	if p := n.Parked(); p != 0 {
+		t.Fatalf("burst of %d (mailbox %d) parked %d deliveries, want 0", box+1, box, p)
+	}
+
+	// Overload past the mailbox parks, and the parks are counted.
+	for i := 0; i < 4; i++ {
+		sender.Send(1, 100+i)
+	}
+	waitUntil(t, func() bool { return n.Parked() >= 1 })
+
+	close(gate) // drain everything
+	waitUntil(t, func() bool { return got.Load() == box+1+4 })
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDefaultMailboxSized(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	env := n.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	if c := cap(env.mailbox); c != DefaultMailbox {
+		t.Errorf("default mailbox capacity = %d, want %d", c, DefaultMailbox)
+	}
+	n2 := New(Config{Mailbox: 3})
+	defer n2.Close()
+	env2 := n2.AddNode(0, node.HandlerFunc(func(ident.ID, any) {}))
+	if c := cap(env2.mailbox); c != 3 {
+		t.Errorf("configured mailbox capacity = %d, want 3", c)
+	}
+}
+
 func TestEnvBasics(t *testing.T) {
 	n := New(Config{})
 	defer n.Close()

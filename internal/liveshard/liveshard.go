@@ -1,0 +1,237 @@
+// Package liveshard is the sharded live detector runtime: the bridge from
+// the simulator-only engine to a service that monitors 10k+ peers over real
+// sockets (cmd/fdload drives it at target heartbeat rates).
+//
+// Architecture: peers are hash-partitioned across K estimator workers.
+// Each worker exclusively owns its peers' heartbeat state (a shard-callable
+// estimator per peer — heartbeat.Estimator or phiaccrual.Estimator), so the
+// per-heartbeat hot path takes no locks at all; cross-shard coordination
+// exists only at the edges (the ingest queues in, the suspicion sink out).
+// Ingest queues are bounded with a drop-oldest policy under overload: a
+// heartbeat that cannot be enqueued evicts the oldest queued event first,
+// because the freshest sighting is the one that matters to a failure
+// detector — parking the producer (the socket read loop) would instead
+// backpressure the transport into exactly the head-of-line stalls the
+// sharding exists to remove. Drops are counted, never silent.
+//
+// Suspicion transitions are emitted to an fd.SuspicionSink with worker-side
+// timestamps, so the live service plugs into the same trace/qos pipeline as
+// the simulator (Chen-style detection and mistake metrics over a real run).
+package liveshard
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"asyncfd/internal/fd"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/node"
+)
+
+// PeerEstimator is the per-peer estimation state a shard worker owns.
+// heartbeat.Estimator and phiaccrual.Estimator implement it. Implementations
+// need no internal locking: all calls for one peer come from its shard's
+// worker goroutine.
+type PeerEstimator interface {
+	// Observe records a heartbeat arrival at time at.
+	Observe(at time.Duration)
+	// Suspected reports whether the peer is suspected at time now.
+	Suspected(now time.Duration) bool
+}
+
+// Config parameterizes the sharded detector service.
+type Config struct {
+	// Self is the monitor's identity (stamped on emitted transitions).
+	Self ident.ID
+	// Shards is the worker count K (default 1).
+	Shards int
+	// QueueLen bounds each shard's ingest queue (default 1024).
+	QueueLen int
+	// ScanInterval is how often each worker sweeps its peers for timeouts
+	// (default 25ms).
+	ScanInterval time.Duration
+	// NewEstimator builds the per-peer estimation state, primed at time
+	// now (required). Called once per peer at Start.
+	NewEstimator func(peer ident.ID, now time.Duration) PeerEstimator
+	// Sink, if set, receives suspicion transitions with worker-side
+	// timestamps. It must be safe for concurrent use (trace.Log is).
+	Sink fd.SuspicionSink
+}
+
+// event is one heartbeat sighting flowing into a shard.
+type event struct {
+	peer   ident.ID
+	at     time.Duration // arrival timestamp (service clock)
+	ingest time.Duration // enqueue timestamp, for ingest-to-estimate latency
+}
+
+// peerRec is a worker-owned per-peer record.
+type peerRec struct {
+	id        ident.ID
+	est       PeerEstimator
+	suspected bool
+}
+
+// Service is the sharded detector. Create with New, register peers with
+// AddPeers, then Start; Observe (or Deliver) feeds heartbeats; Close joins
+// the workers.
+type Service struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	peers   []ident.ID // registered pre-Start
+	started bool
+	closed  bool
+
+	shards []*shard
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a service. NewEstimator is required.
+func New(cfg Config) (*Service, error) {
+	if cfg.NewEstimator == nil {
+		return nil, errors.New("liveshard: Config.NewEstimator is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 25 * time.Millisecond
+	}
+	s := &Service{
+		cfg:    cfg,
+		start:  time.Now(),
+		shards: make([]*shard, cfg.Shards),
+		done:   make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			svc: s,
+			idx: i,
+			in:  make(chan event, cfg.QueueLen),
+		}
+	}
+	return s, nil
+}
+
+// Now returns the service clock (time since New). All event timestamps and
+// emitted transitions are offsets on this clock.
+func (s *Service) Now() time.Duration { return time.Since(s.start) }
+
+// AddPeers registers monitored peers. Must be called before Start.
+func (s *Service) AddPeers(ids ...ident.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("liveshard: AddPeers after Start")
+	}
+	s.peers = append(s.peers, ids...)
+}
+
+// Shards returns the worker count K.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// shardOf maps a peer to its owning shard: a multiplicative (Fibonacci)
+// hash spreads even dense sequential IDs uniformly across workers.
+func (s *Service) shardOf(id ident.ID) *shard {
+	h := uint64(uint32(id)) * 0x9E3779B97F4A7C15
+	return s.shards[(h>>33)%uint64(len(s.shards))]
+}
+
+// Start primes every peer's estimator (the start of monitoring counts as a
+// sighting) and launches the K workers.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("liveshard: double Start")
+	}
+	s.started = true
+	now := s.Now()
+	for _, id := range s.peers {
+		sh := s.shardOf(id)
+		sh.peers.Put(id, &peerRec{id: id, est: s.cfg.NewEstimator(id, now)})
+		sh.peerIDs = append(sh.peerIDs, id)
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.run()
+	}
+}
+
+// Close stops the workers and joins them. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Observe ingests a heartbeat sighting for peer at the current service
+// time. It never blocks: under overload the shard's oldest queued event is
+// evicted to make room (drop-oldest), and if the queue is still full — a
+// racing producer won the slot — the new event is dropped. Both drops are
+// counted.
+func (s *Service) Observe(peer ident.ID) {
+	now := s.Now()
+	sh := s.shardOf(peer)
+	ev := event{peer: peer, at: now, ingest: now}
+	select {
+	case sh.in <- ev:
+		return
+	default:
+	}
+	select {
+	case <-sh.in:
+		sh.droppedOldest.Add(1)
+	default:
+	}
+	select {
+	case sh.in <- ev:
+	default:
+		sh.droppedNewest.Add(1)
+	}
+}
+
+// Deliver implements node.Handler, so a Service can sit directly behind a
+// tcpnet.Transport (with Config.ConcurrentDeliver set: the service is
+// internally synchronized). The heartbeat's own From field identifies the
+// peer, which lets one inbound connection carry heartbeats for many logical
+// peers (how cmd/fdload reaches 10k peers over a bounded socket count).
+func (s *Service) Deliver(_ ident.ID, payload any) {
+	if id, ok := heartbeatFrom(payload); ok {
+		s.Observe(id)
+	}
+}
+
+var _ node.Handler = (*Service)(nil)
+
+// IsSuspected reports whether peer is currently suspected.
+func (s *Service) IsSuspected(peer ident.ID) bool {
+	sh := s.shardOf(peer)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.suspected.Has(peer)
+}
+
+// Suspects returns the set of currently suspected peers.
+func (s *Service) Suspects() ident.Set {
+	var out ident.Set
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out.Union(sh.suspected)
+		sh.mu.Unlock()
+	}
+	return out
+}

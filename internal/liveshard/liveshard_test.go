@@ -1,0 +1,321 @@
+package liveshard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"asyncfd/internal/heartbeat"
+	"asyncfd/internal/ident"
+	"asyncfd/internal/phiaccrual"
+	"asyncfd/internal/trace"
+)
+
+func hbEstimator(timeout time.Duration) func(ident.ID, time.Duration) PeerEstimator {
+	return func(_ ident.ID, now time.Duration) PeerEstimator {
+		return heartbeat.NewEstimator(timeout, now)
+	}
+}
+
+func TestNewRequiresEstimator(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing NewEstimator accepted")
+	}
+}
+
+func TestShardPartitioning(t *testing.T) {
+	s, err := New(Config{Shards: 16, NewEstimator: hbEstimator(time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Every peer maps to exactly one shard, and dense sequential IDs
+	// spread across all 16 workers (the Fibonacci hash must not clump).
+	seen := make(map[int]int)
+	for id := ident.ID(0); id < 4096; id++ {
+		sh := s.shardOf(id)
+		if sh != s.shardOf(id) {
+			t.Fatalf("unstable shard assignment for %v", id)
+		}
+		seen[sh.idx]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("4096 dense IDs landed on %d of 16 shards", len(seen))
+	}
+	for idx, count := range seen {
+		if count < 64 || count > 1024 {
+			t.Errorf("shard %d holds %d of 4096 peers; distribution badly skewed", idx, count)
+		}
+	}
+}
+
+// TestSuspicionEndToEnd: silent peers get suspected, resumed heartbeats
+// restore trust, transitions reach the sink.
+func TestSuspicionEndToEnd(t *testing.T) {
+	log := &trace.Log{}
+	s, err := New(Config{
+		Self:         99,
+		Shards:       4,
+		ScanInterval: 2 * time.Millisecond,
+		NewEstimator: hbEstimator(30 * time.Millisecond),
+		Sink:         log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AddPeers(0, 1, 2)
+	s.Start()
+
+	// Feed peers 0 and 1; starve peer 2.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Observe(0)
+				s.Observe(1)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return s.IsSuspected(2) })
+	if s.IsSuspected(0) || s.IsSuspected(1) {
+		t.Errorf("live peers wrongly suspected: %v", s.Suspects())
+	}
+
+	// Peer 2 comes back: trust must be restored.
+	resurrect := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Observe(2)
+			case <-resurrect:
+				return
+			}
+		}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return !s.IsSuspected(2) })
+	close(resurrect)
+	close(stop)
+	wg.Wait()
+
+	// The sink saw both transitions with the monitor's identity.
+	events := log.Events()
+	var sawSuspect, sawTrust bool
+	for _, e := range events {
+		if e.Observer != 99 || e.Subject != 2 {
+			continue
+		}
+		if e.Suspected {
+			sawSuspect = true
+		} else if sawSuspect {
+			sawTrust = true
+		}
+	}
+	if !sawSuspect || !sawTrust {
+		t.Errorf("sink missed transitions for peer 2: %v", events)
+	}
+	if st := s.Stats(); st.Processed == 0 || st.Scans == 0 {
+		t.Errorf("stats not accounted: %+v", st)
+	}
+}
+
+// recordingEstimator captures the observation times a worker feeds it.
+type recordingEstimator struct {
+	mu  sync.Mutex
+	ats []time.Duration
+}
+
+func (r *recordingEstimator) Observe(at time.Duration) {
+	r.mu.Lock()
+	r.ats = append(r.ats, at)
+	r.mu.Unlock()
+}
+func (r *recordingEstimator) Suspected(time.Duration) bool { return false }
+func (r *recordingEstimator) seen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ats)
+}
+
+// TestOverloadDropsOldest: with workers not yet running, a queue of
+// capacity Q offered N>Q events keeps the NEWEST Q and counts the drops.
+func TestOverloadDropsOldest(t *testing.T) {
+	rec := &recordingEstimator{}
+	s, err := New(Config{
+		Shards:   1,
+		QueueLen: 4,
+		NewEstimator: func(ident.ID, time.Duration) PeerEstimator {
+			return rec
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddPeers(0)
+	// Not started: the queue fills and overflows deterministically.
+	for i := 0; i < 10; i++ {
+		s.Observe(0)
+	}
+	st := s.Stats()
+	if st.DroppedOldest != 6 || st.DroppedNewest != 0 {
+		t.Fatalf("drops = %d oldest / %d newest, want 6/0", st.DroppedOldest, st.DroppedNewest)
+	}
+	if st.QueueLen != 4 {
+		t.Fatalf("backlog = %d, want 4", st.QueueLen)
+	}
+	// Start the worker: exactly the 4 newest events survive to the
+	// estimator, in order.
+	s.Start()
+	waitFor(t, 5*time.Second, func() bool { return rec.seen() == 4 })
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for i := 1; i < len(rec.ats); i++ {
+		if rec.ats[i] < rec.ats[i-1] {
+			t.Errorf("surviving events out of order: %v", rec.ats)
+		}
+	}
+	s.Close()
+	if got := s.Stats().Processed; got != 4 {
+		t.Errorf("processed = %d, want 4", got)
+	}
+}
+
+// TestConcurrentObserve hammers Observe from many goroutines (run under
+// -race in CI) while stats are read concurrently.
+func TestConcurrentObserve(t *testing.T) {
+	s, err := New(Config{
+		Shards:       8,
+		QueueLen:     64,
+		ScanInterval: time.Millisecond,
+		NewEstimator: hbEstimator(time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peers = 128
+	ids := make([]ident.ID, peers)
+	for i := range ids {
+		ids[i] = ident.ID(i)
+	}
+	s.AddPeers(ids...)
+	s.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Observe(ident.ID((g*251 + i) % peers))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			s.Close()
+			st := s.Stats()
+			if st.Processed+st.Dropped() != 8*2000-uint64(st.QueueLen) {
+				t.Errorf("event accounting leak: %+v", st)
+			}
+			if st.Processed > 0 && st.IngestP99 == 0 {
+				t.Errorf("latency histogram empty despite %d processed", st.Processed)
+			}
+			return
+		default:
+			_ = s.Stats()
+			_ = s.Suspects()
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestDeliverPayloadKinds: the node.Handler entry recognizes every
+// heartbeat-shaped wire payload by its own From field.
+func TestDeliverPayloadKinds(t *testing.T) {
+	if id, ok := heartbeatFrom(heartbeat.Message{From: 3}); !ok || id != 3 {
+		t.Error("heartbeat.Message not recognized")
+	}
+	if id, ok := heartbeatFrom(phiaccrual.Message{From: 4}); !ok || id != 4 {
+		t.Error("phiaccrual.Message not recognized")
+	}
+	if id, ok := heartbeatFrom(heartbeat.VectorMessage{From: 5}); !ok || id != 5 {
+		t.Error("heartbeat.VectorMessage not recognized")
+	}
+	if _, ok := heartbeatFrom("garbage"); ok {
+		t.Error("garbage payload recognized")
+	}
+}
+
+// TestPhiEstimatorIntegration runs the φ-accrual estimator under the
+// sharded service.
+func TestPhiEstimatorIntegration(t *testing.T) {
+	s, err := New(Config{
+		Shards:       2,
+		ScanInterval: 2 * time.Millisecond,
+		NewEstimator: func(_ ident.ID, now time.Duration) PeerEstimator {
+			e, err := phiaccrual.NewEstimator(phiaccrual.EstimatorConfig{
+				Interval:  5 * time.Millisecond,
+				Threshold: 4,
+			}, now)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AddPeers(0, 1)
+	s.Start()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Observe(0)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	waitFor(t, 10*time.Second, func() bool { return s.IsSuspected(1) })
+	if s.IsSuspected(0) {
+		t.Error("heartbeating peer wrongly suspected by φ estimator")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

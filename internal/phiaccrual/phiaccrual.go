@@ -291,10 +291,16 @@ func (n *Node) phiLocked(st *peerState, now time.Duration) float64 {
 		return 0
 	}
 	mean, std := st.win.meanStd()
-	if floor := n.cfg.MinStdDev.Seconds(); std < floor {
-		std = floor
+	return phiValue(mean, std, elapsed, n.cfg.MinStdDev.Seconds())
+}
+
+// phiValue is the φ formula shared by the detector Node and the
+// shard-callable Estimator: P_later(t) = 0.5 · erfc((t − µ) / (σ·√2));
+// φ = −log10(P_later), with σ floored at minStd.
+func phiValue(mean, std, elapsed, minStd float64) float64 {
+	if std < minStd {
+		std = minStd
 	}
-	// P_later(t) = 0.5 · erfc((t − µ) / (σ·√2)); φ = −log10(P_later).
 	p := 0.5 * math.Erfc((elapsed-mean)/(std*math.Sqrt2))
 	if p <= 0 {
 		return math.Inf(1)

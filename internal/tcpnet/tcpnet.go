@@ -1,18 +1,28 @@
 // Package tcpnet runs the protocol nodes over real TCP sockets: a
 // length-prefixed framing of the wire codec plus a tiny identity handshake.
 // It demonstrates that the same core.Node that runs on the simulator and the
-// in-process live runtime also runs across machines. It is a demonstration
-// transport (full mesh, lazy dialing, drop-on-error), not a hardened
-// product.
+// in-process live runtime also runs across machines, and it is the socket
+// layer under the sharded live detector service (internal/liveshard,
+// cmd/fdload).
+//
+// The send path is built so that no peer can stall another: every peer has
+// its own bounded outbound queue drained by a per-connection writer
+// goroutine that coalesces queued frames into a single Write, and dialing
+// happens asynchronously on a dedicated goroutine — Send never blocks on
+// the network. Under overload (a peer that stops reading, a down peer being
+// redialed) frames are dropped, oldest first, and counted; the asynchronous
+// model makes no delivery promises and the detectors retry every period.
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asyncfd/internal/ident"
@@ -23,6 +33,18 @@ import (
 // maxFrame bounds incoming frames (1 MiB is far above any detector message).
 const maxFrame = 1 << 20
 
+// Defaults for the tunable knobs (zero values in Config).
+const (
+	// DefaultSendQueue is the per-peer bound on queued outbound frames.
+	DefaultSendQueue = 128
+	// DefaultDialTimeout bounds one asynchronous dial attempt.
+	DefaultDialTimeout = time.Second
+	// DefaultRedialBackoff is the minimum gap between dial attempts to a
+	// peer whose last dial failed (prevents a dialing storm at every
+	// heartbeat while a peer is down).
+	DefaultRedialBackoff = 250 * time.Millisecond
+)
+
 // Config parameterizes a transport endpoint.
 type Config struct {
 	// Self is this process's identity.
@@ -31,6 +53,60 @@ type Config struct {
 	ListenAddr string
 	// Handler receives decoded messages.
 	Handler node.Handler
+	// SendQueue bounds the frames queued per peer while its connection is
+	// busy or being dialed; the oldest frame is dropped on overflow
+	// (default DefaultSendQueue).
+	SendQueue int
+	// DialTimeout bounds one async dial attempt (default DefaultDialTimeout).
+	DialTimeout time.Duration
+	// RedialBackoff is the minimum gap between dial attempts to a peer
+	// whose last dial failed (default DefaultRedialBackoff).
+	RedialBackoff time.Duration
+	// ConcurrentDeliver skips the global mutex that serializes
+	// Handler.Deliver across connections. The node.Env contract wants
+	// per-process serialization, so leave this false for protocol nodes;
+	// set it when the handler is internally synchronized (the sharded
+	// detector service is), so one busy inbound link cannot serialize
+	// ingestion from every other link.
+	ConcurrentDeliver bool
+}
+
+// peerState is the connection lifecycle of one registered peer.
+type peerState int
+
+const (
+	stateIdle peerState = iota
+	stateConnecting
+	stateConnected
+)
+
+// peer is the per-peer outbound endpoint: address, connection lifecycle and
+// the bounded frame queue its writer goroutine drains.
+type peer struct {
+	id   ident.ID
+	addr string
+
+	mu       sync.Mutex
+	state    peerState
+	conn     net.Conn // non-nil iff state == stateConnected
+	queue    [][]byte // pending frames, oldest first
+	lastFail time.Time
+	wake     chan struct{} // cap-1 signal: the queue became non-empty
+}
+
+// Stats are cumulative transport counters (monotone; read with Stats).
+type Stats struct {
+	// FramesSent counts frames handed to the kernel (post-coalescing
+	// writes may carry many frames each).
+	FramesSent uint64
+	// FramesDropped counts frames dropped on the send path: queue
+	// overflow, dial failure, redial backoff, unknown/closed peer.
+	FramesDropped uint64
+	// Dials and DialFails count asynchronous dial attempts and failures.
+	Dials, DialFails uint64
+	// Writes counts kernel Write calls (FramesSent/Writes is the achieved
+	// coalescing factor).
+	Writes uint64
 }
 
 // Transport is one process's endpoint. It implements node.Env.
@@ -40,13 +116,22 @@ type Transport struct {
 	start time.Time
 
 	mu      sync.Mutex
-	peers   map[ident.ID]string   // id → address
-	conns   map[ident.ID]net.Conn // established outgoing connections
+	peers   map[ident.ID]*peer
+	conns   map[net.Conn]struct{} // live outgoing connections (closed on Close)
 	inbound map[net.Conn]struct{} // accepted connections (closed on Close)
 	closed  bool
 
-	deliver sync.Mutex // serializes Handler.Deliver per the node.Env contract
-	write   sync.Mutex // serializes frame writes (frames must not interleave)
+	deliver sync.Mutex // serializes Handler.Deliver unless ConcurrentDeliver
+
+	// dial is the dial function (swapped by tests to simulate slow or
+	// hanging networks).
+	dial func(addr string, timeout time.Duration) (net.Conn, error)
+
+	framesSent    atomic.Uint64
+	framesDropped atomic.Uint64
+	dials         atomic.Uint64
+	dialFails     atomic.Uint64
+	writes        atomic.Uint64
 
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -60,6 +145,15 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("tcpnet: Config.Handler is required")
 	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = DefaultSendQueue
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = DefaultRedialBackoff
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen: %w", err)
@@ -68,9 +162,10 @@ func New(cfg Config) (*Transport, error) {
 		cfg:     cfg,
 		ln:      ln,
 		start:   time.Now(),
-		peers:   make(map[ident.ID]string),
-		conns:   make(map[ident.ID]net.Conn),
+		peers:   make(map[ident.ID]*peer),
+		conns:   make(map[net.Conn]struct{}),
 		inbound: make(map[net.Conn]struct{}),
+		dial:    dialTCP,
 		done:    make(chan struct{}),
 	}
 	t.wg.Add(1)
@@ -85,7 +180,24 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 func (t *Transport) AddPeer(id ident.ID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.peers[id] = addr
+	if p, ok := t.peers[id]; ok {
+		p.mu.Lock()
+		p.addr = addr
+		p.mu.Unlock()
+		return
+	}
+	t.peers[id] = &peer{id: id, addr: addr, wake: make(chan struct{}, 1)}
+}
+
+// Stats returns cumulative send-path counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		FramesSent:    t.framesSent.Load(),
+		FramesDropped: t.framesDropped.Load(),
+		Dials:         t.dials.Load(),
+		DialFails:     t.dialFails.Load(),
+		Writes:        t.writes.Load(),
+	}
 }
 
 // Close tears the endpoint down and joins all goroutines.
@@ -98,13 +210,22 @@ func (t *Transport) Close() error {
 	t.closed = true
 	close(t.done)
 	err := t.ln.Close()
-	for _, c := range t.conns {
+	for c := range t.conns {
 		c.Close()
 	}
 	for c := range t.inbound {
 		c.Close()
 	}
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
 	t.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		p.queue = nil
+		p.mu.Unlock()
+	}
 	t.pending.Wait()
 	t.wg.Wait()
 	return err
@@ -124,13 +245,14 @@ func (t *Transport) acceptLoop() {
 			return
 		}
 		t.inbound[conn] = struct{}{}
-		t.mu.Unlock()
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
 
-// readLoop consumes the hello frame then dispatches messages.
+// readLoop consumes the hello frame then dispatches messages. The frame
+// buffer is reused across reads: wire.Decode copies everything it returns.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -139,7 +261,9 @@ func (t *Transport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	hello, err := readFrame(conn)
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var buf []byte
+	hello, err := readFrameReuse(br, &buf)
 	if err != nil || len(hello) == 0 {
 		return
 	}
@@ -149,7 +273,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 	}
 	from := ident.ID(from64)
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrameReuse(br, &buf)
 		if err != nil {
 			return
 		}
@@ -162,13 +286,20 @@ func (t *Transport) readLoop(conn net.Conn) {
 			return
 		default:
 		}
+		if t.cfg.ConcurrentDeliver {
+			t.cfg.Handler.Deliver(from, payload)
+			continue
+		}
 		t.deliver.Lock()
 		t.cfg.Handler.Deliver(from, payload)
 		t.deliver.Unlock()
 	}
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrameReuse reads one length-prefixed frame into *buf, growing it as
+// needed; the returned slice aliases *buf and is only valid until the next
+// call.
+func readFrameReuse(r io.Reader, buf *[]byte) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
@@ -177,68 +308,186 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if size == 0 || size > maxFrame {
 		return nil, fmt.Errorf("tcpnet: bad frame size %d", size)
 	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if uint32(cap(*buf)) < size {
+		*buf = make([]byte, size)
+	}
+	b := (*buf)[:size]
+	if _, err := io.ReadFull(r, b); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return b, nil
+}
+
+// dialTCP is the production dial function.
+func dialTCP(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// appendFrame appends the length prefix and frame body to dst.
+func appendFrame(dst, frame []byte) []byte {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	dst = append(dst, lenBuf[:]...)
+	return append(dst, frame...)
 }
 
 func writeFrame(w io.Writer, frame []byte) error {
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(frame)
+	_, err := w.Write(appendFrame(make([]byte, 0, 4+len(frame)), frame))
 	return err
 }
 
-// conn returns (dialing if necessary) the outgoing connection to id.
-func (t *Transport) conn(id ident.ID) (net.Conn, error) {
-	t.mu.Lock()
-	if t.closed {
+// enqueue queues one encoded frame for peer p, starting a dial if the peer
+// has no connection. It never blocks on the network: a full queue drops the
+// oldest frame, a peer inside its redial backoff drops the new one.
+func (t *Transport) enqueue(p *peer, frame []byte) {
+	p.mu.Lock()
+	switch p.state {
+	case stateConnected, stateConnecting:
+		if len(p.queue) >= t.cfg.SendQueue {
+			p.queue = p.queue[1:]
+			t.framesDropped.Add(1)
+		}
+		p.queue = append(p.queue, frame)
+		if p.state == stateConnected {
+			signal(p.wake)
+		}
+		p.mu.Unlock()
+	case stateIdle:
+		if !p.lastFail.IsZero() && time.Since(p.lastFail) < t.cfg.RedialBackoff {
+			p.mu.Unlock()
+			t.framesDropped.Add(1)
+			return
+		}
+		p.state = stateConnecting
+		p.queue = append(p.queue[:0], frame)
+		p.mu.Unlock()
+		// Spawn the dialer under t.mu so Close's wg.Wait cannot race the
+		// Add; if the transport closed meanwhile, roll the state back.
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			p.mu.Lock()
+			p.state = stateIdle
+			p.queue = nil
+			p.mu.Unlock()
+			t.framesDropped.Add(1)
+			return
+		}
+		t.wg.Add(1)
 		t.mu.Unlock()
-		return nil, errors.New("tcpnet: closed")
+		go t.dialPeer(p)
 	}
-	if c, ok := t.conns[id]; ok {
-		t.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := t.peers[id]
-	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcpnet: unknown peer %v", id)
-	}
-	c, err := net.DialTimeout("tcp", addr, time.Second)
-	if err != nil {
-		return nil, err
-	}
-	hello := binary.AppendUvarint(nil, uint64(t.cfg.Self))
-	if err := writeFrame(c, hello); err != nil {
-		c.Close()
-		return nil, err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		c.Close()
-		return nil, errors.New("tcpnet: closed")
-	}
-	if existing, ok := t.conns[id]; ok {
-		c.Close()
-		return existing, nil
-	}
-	t.conns[id] = c
-	return c, nil
 }
 
-func (t *Transport) dropConn(id ident.ID, c net.Conn) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.conns[id] == c {
-		delete(t.conns, id)
+// signal makes a non-blocking send on a cap-1 wake channel.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
 	}
+}
+
+// dialPeer runs one asynchronous dial attempt for p and, on success, hands
+// the connection to a writer goroutine. Frames queued while connecting are
+// flushed by the writer; a failed dial drops them.
+func (t *Transport) dialPeer(p *peer) {
+	defer t.wg.Done()
+	t.dials.Add(1)
+	p.mu.Lock()
+	addr := p.addr
+	p.mu.Unlock()
+	c, err := t.dial(addr, t.cfg.DialTimeout)
+	if err == nil {
+		hello := binary.AppendUvarint(nil, uint64(t.cfg.Self))
+		if herr := writeFrame(c, hello); herr != nil {
+			c.Close()
+			c, err = nil, herr
+		}
+	}
+	if err != nil {
+		t.dialFails.Add(1)
+		p.mu.Lock()
+		p.state = stateIdle
+		p.lastFail = time.Now()
+		t.framesDropped.Add(uint64(len(p.queue)))
+		p.queue = nil
+		p.mu.Unlock()
+		return
+	}
+	// Register the connection; if Close ran while dialing, fold back.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		p.mu.Lock()
+		p.state = stateIdle
+		p.queue = nil
+		p.mu.Unlock()
+		return
+	}
+	t.conns[c] = struct{}{}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	p.mu.Lock()
+	p.state = stateConnected
+	p.conn = c
+	p.mu.Unlock()
+	go t.writeLoop(p, c)
+}
+
+// writeLoop drains p's queue over c, coalescing all queued frames into one
+// buffer per kernel write. It exits when the connection is replaced or
+// fails, or the transport closes.
+func (t *Transport) writeLoop(p *peer, c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, c)
+		t.mu.Unlock()
+	}()
+	buf := make([]byte, 0, 16<<10)
+	for {
+		p.mu.Lock()
+		if p.conn != c {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		if len(batch) == 0 {
+			select {
+			case <-p.wake:
+				continue
+			case <-t.done:
+				return
+			}
+		}
+		buf = buf[:0]
+		for _, f := range batch {
+			buf = appendFrame(buf, f)
+		}
+		if _, err := c.Write(buf); err != nil {
+			t.dropConn(p, c)
+			return
+		}
+		t.framesSent.Add(uint64(len(batch)))
+		t.writes.Add(1)
+	}
+}
+
+// dropConn retires a failed connection: the peer goes back to idle (with a
+// redial backoff) and its queued frames are dropped.
+func (t *Transport) dropConn(p *peer, c net.Conn) {
+	p.mu.Lock()
+	if p.conn == c {
+		p.conn = nil
+		p.state = stateIdle
+		p.lastFail = time.Now()
+		t.framesDropped.Add(uint64(len(p.queue)))
+		p.queue = nil
+	}
+	p.mu.Unlock()
 	c.Close()
 }
 
@@ -286,29 +535,43 @@ type deadTimer struct{}
 
 func (deadTimer) Stop() bool { return false }
 
-// Send implements node.Env: best-effort asynchronous transmission. Encoding
-// or connection failures drop the message (the asynchronous model makes no
-// delivery-time promises; the detector tolerates it and the next round
-// retries).
+// Send implements node.Env: best-effort asynchronous transmission. The call
+// never blocks on the network — frames are queued to the peer's writer
+// goroutine (dialing asynchronously if needed) and dropped under overload
+// (the asynchronous model makes no delivery-time promises; the detector
+// tolerates it and the next round retries).
 func (t *Transport) Send(to ident.ID, payload any) {
 	frame, err := wire.Encode(payload)
 	if err != nil {
 		return
 	}
-	c, err := t.conn(to)
+	t.sendFrame(to, frame)
+}
+
+// sendFrame queues one already-encoded frame (shared by Send and the
+// encode-once Broadcast; the frame must not be mutated afterwards).
+func (t *Transport) sendFrame(to ident.ID, frame []byte) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	p, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		t.framesDropped.Add(1)
+		return
+	}
+	t.enqueue(p, frame)
+}
+
+// Broadcast implements node.Env: the payload is encoded once and the frame
+// queued to every registered peer.
+func (t *Transport) Broadcast(payload any) {
+	frame, err := wire.Encode(payload)
 	if err != nil {
 		return
 	}
-	t.write.Lock()
-	err = writeFrame(c, frame)
-	t.write.Unlock()
-	if err != nil {
-		t.dropConn(to, c)
-	}
-}
-
-// Broadcast implements node.Env: one Send per registered peer.
-func (t *Transport) Broadcast(payload any) {
 	t.mu.Lock()
 	targets := make([]ident.ID, 0, len(t.peers))
 	for id := range t.peers {
@@ -319,6 +582,6 @@ func (t *Transport) Broadcast(payload any) {
 	t.mu.Unlock()
 	ident.SortIDs(targets)
 	for _, id := range targets {
-		t.Send(id, payload)
+		t.sendFrame(id, frame)
 	}
 }

@@ -1,13 +1,18 @@
 package tcpnet
 
 import (
+	"encoding/binary"
+	"errors"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"asyncfd/internal/core"
 	"asyncfd/internal/heartbeat"
 	"asyncfd/internal/ident"
+	"asyncfd/internal/wire"
 )
 
 // collector accumulates deliveries.
@@ -86,6 +91,9 @@ func TestSendToUnknownPeerDropped(t *testing.T) {
 	defer a.Close()
 	a.Send(9, heartbeat.Message{From: 0, Seq: 1}) // no peer registered: no panic
 	a.Send(1, "unencodable")                      // unsupported payload: no panic
+	if s := a.Stats(); s.FramesDropped == 0 {
+		t.Error("unknown-peer send not counted as dropped")
+	}
 }
 
 func TestTimerAndClose(t *testing.T) {
@@ -112,6 +120,344 @@ func TestTimerAndClose(t *testing.T) {
 	}
 	if a.After(time.Millisecond, func() {}).Stop() {
 		t.Error("After on closed transport returned live timer")
+	}
+}
+
+// stalledListener accepts connections, reads their hello, then stops reading
+// forever — a peer whose application has wedged while the socket stays open.
+func stalledListener(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			// Never read: the kernel buffers fill and writes stall.
+		}
+	}()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}
+
+// bigPayload is a ~60 KB frame, large enough that a handful of them
+// overwhelm the loopback socket buffers of a stalled reader.
+func bigPayload() heartbeat.VectorMessage {
+	return heartbeat.VectorMessage{From: 0, Vector: make([]uint64, 60_000)}
+}
+
+// TestStalledPeerDoesNotBlockHealthySends is the regression test for the
+// head-of-line blocking bug: with the old single global write mutex, one
+// peer that stopped reading froze sends to every other peer. Now each
+// connection has its own writer goroutine and bounded queue, so sends to
+// the stalled peer drop while sends to healthy peers flow.
+func TestStalledPeerDoesNotBlockHealthySends(t *testing.T) {
+	colB := newCollector()
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector(), SendQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: colB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	stalledAddr, stopStalled := stalledListener(t)
+	defer stopStalled()
+
+	a.AddPeer(1, b.Addr())
+	a.AddPeer(2, stalledAddr)
+
+	// Saturate the stalled peer: far more bytes than loopback buffering
+	// plus the bounded queue can hold. Every Send must return promptly —
+	// the bound is loose to absorb -race/GC noise; the pre-fix code blocks
+	// in the kernel write forever once the socket buffers fill.
+	payload := bigPayload()
+	for i := 0; i < 100; i++ {
+		start := time.Now()
+		a.Send(2, payload)
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Send to stalled peer blocked for %v", d)
+		}
+	}
+
+	// Sends to the healthy peer must not be delayed by the stalled one.
+	start := time.Now()
+	a.Send(1, heartbeat.Message{From: 0, Seq: 1})
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Send to healthy peer blocked for %v behind a stalled peer", d)
+	}
+	select {
+	case <-colB.ch:
+	case <-time.After(3 * time.Second):
+		t.Fatal("delivery to healthy peer timed out behind a stalled peer")
+	}
+	if s := a.Stats(); s.FramesDropped == 0 {
+		t.Error("overloading a stalled peer dropped no frames")
+	}
+}
+
+// TestSendDoesNotBlockOnDial is the regression test for the blocking-dial
+// bug: Send used to run net.DialTimeout (up to 1s) on the caller's
+// goroutine, so a heartbeat broadcast stalled (down peers × 1s). Dialing is
+// now asynchronous: Send returns immediately while the dial is in flight.
+func TestSendDoesNotBlockOnDial(t *testing.T) {
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	dialing := make(chan struct{}, 16)
+	a.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		dialing <- struct{}{}
+		time.Sleep(200 * time.Millisecond) // a slow, ultimately dead network
+		return nil, errors.New("unreachable")
+	}
+	for id := ident.ID(1); id <= 8; id++ {
+		a.AddPeer(id, "203.0.113.1:9") // never dialed for real
+	}
+
+	start := time.Now()
+	a.Broadcast(heartbeat.Message{From: 0, Seq: 1})
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("Broadcast with 8 down peers took %v; dials must be async", d)
+	}
+	// All eight dials run concurrently, not serially on the send path.
+	deadline := time.After(time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case <-dialing:
+		case <-deadline:
+			t.Fatalf("only %d async dials started", i)
+		}
+	}
+	// While connecting (and during the failure backoff), sends drop
+	// rather than stall.
+	start = time.Now()
+	a.Send(1, heartbeat.Message{From: 0, Seq: 2})
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("Send while connecting took %v", d)
+	}
+}
+
+// TestRedialBackoff: after a failed dial the peer is not redialed until the
+// backoff elapses; sends in between drop without spawning dial goroutines.
+func TestRedialBackoff(t *testing.T) {
+	a, err := New(Config{
+		Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector(),
+		RedialBackoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var dials atomic.Int64
+	a.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		dials.Add(1)
+		return nil, errors.New("refused")
+	}
+	a.AddPeer(1, "203.0.113.1:9")
+	a.Send(1, heartbeat.Message{From: 0, Seq: 1})
+	waitFor(t, time.Second, func() bool { return dials.Load() == 1 })
+	for i := 0; i < 10; i++ {
+		a.Send(1, heartbeat.Message{From: 0, Seq: uint64(i) + 2})
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("dials during backoff = %d, want 1", n)
+	}
+}
+
+// TestCloseDuringDial races Close against in-flight async dials (run under
+// -race in CI).
+func TestCloseDuringDial(t *testing.T) {
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 64)
+	a.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		started <- struct{}{}
+		time.Sleep(10 * time.Millisecond)
+		return nil, errors.New("unreachable")
+	}
+	for id := ident.ID(1); id <= 4; id++ {
+		a.AddPeer(id, "203.0.113.1:9")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				a.Send(ident.ID(g%4)+1, heartbeat.Message{From: 0, Seq: uint64(i)})
+			}
+		}(g)
+	}
+	<-started // at least one dial in flight
+	if err := a.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	wg.Wait()
+	// Sends after Close are no-ops.
+	a.Send(1, heartbeat.Message{From: 0, Seq: 99})
+}
+
+// TestWriteAfterDropConn races sends against a connection being dropped
+// out from under them (run under -race in CI).
+func TestWriteAfterDropConn(t *testing.T) {
+	colB := newCollector()
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: newCollector(), RedialBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: colB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(1, b.Addr())
+
+	a.Send(1, heartbeat.Message{From: 0, Seq: 1})
+	select {
+	case <-colB.ch:
+	case <-time.After(3 * time.Second):
+		t.Fatal("initial delivery timed out")
+	}
+
+	// Drop the connection out from under a burst of concurrent sends; the
+	// race detector guards the write-after-dropConn interleavings, and the
+	// peer must recover (redial) so a marker message still gets through.
+	a.mu.Lock()
+	p := a.peers[1]
+	a.mu.Unlock()
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	if c == nil {
+		t.Fatal("no established connection to drop")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			a.Send(1, heartbeat.Message{From: 0, Seq: uint64(i) + 2})
+		}
+	}()
+	a.dropConn(p, c)
+	wg.Wait()
+	// After the drop and its 1ms backoff, a fresh send must redial and land.
+	waitFor(t, 5*time.Second, func() bool {
+		a.Send(1, heartbeat.Message{From: 0, Seq: 9999})
+		colB.mu.Lock()
+		defer colB.mu.Unlock()
+		for _, m := range colB.got {
+			if hb, ok := m.(heartbeat.Message); ok && hb.Seq == 9999 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestDuplicateInboundHello: two inbound connections claiming the same peer
+// identity must both deliver and tear down cleanly (run under -race in CI).
+func TestDuplicateInboundHello(t *testing.T) {
+	col := newCollector()
+	a, err := New(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := binary.AppendUvarint(nil, 7)
+	frame, err := wire.Encode(heartbeat.Message{From: 7, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", a.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		if err := writeFrame(c, hello); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(c, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 3*time.Second, func() bool { return col.len() == 2 })
+	for _, c := range conns {
+		c.Close()
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestBroadcastEncodesOnce: a broadcast to many peers performs one encode
+// and the frames reach every peer.
+func TestBroadcastCoalescing(t *testing.T) {
+	cols := make([]*collector, 3)
+	trs := make([]*Transport, 3)
+	for i := range trs {
+		cols[i] = newCollector()
+		tr, err := New(Config{Self: ident.ID(i), ListenAddr: "127.0.0.1:0", Handler: cols[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+	}
+	for i := range trs {
+		for j := range trs {
+			if i != j {
+				trs[i].AddPeer(ident.ID(j), trs[j].Addr())
+			}
+		}
+	}
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		trs[0].Broadcast(heartbeat.Message{From: 0, Seq: uint64(r)})
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return cols[1].len() == rounds && cols[2].len() == rounds
+	})
+	s := trs[0].Stats()
+	if s.FramesSent != 2*rounds {
+		t.Errorf("FramesSent = %d, want %d", s.FramesSent, 2*rounds)
+	}
+	if s.Writes == 0 || s.Writes > s.FramesSent {
+		t.Errorf("Writes = %d out of range (FramesSent %d)", s.Writes, s.FramesSent)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

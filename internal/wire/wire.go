@@ -40,36 +40,44 @@ var ErrUnknownKind = errors.New("wire: unknown message kind")
 
 // Encode serializes one of the supported payload types.
 func Encode(payload any) ([]byte, error) {
+	return AppendEncode(nil, payload)
+}
+
+// AppendEncode serializes payload onto dst and returns the extended buffer,
+// letting hot send paths (the tcpnet frame writer, broadcast fan-out) reuse
+// one buffer instead of allocating per message. On error dst is returned
+// unchanged.
+func AppendEncode(dst []byte, payload any) ([]byte, error) {
 	switch m := payload.(type) {
 	case core.Query:
-		buf := []byte{kindQuery}
+		buf := append(dst, kindQuery)
 		buf = binary.AppendUvarint(buf, uint64(m.From))
 		buf = binary.AppendUvarint(buf, m.Round)
 		buf = appendEntries(buf, m.Suspected)
 		buf = appendEntries(buf, m.Mistake)
 		return buf, nil
 	case core.Response:
-		buf := []byte{kindResponse}
+		buf := append(dst, kindResponse)
 		buf = binary.AppendUvarint(buf, uint64(m.From))
 		buf = binary.AppendUvarint(buf, m.Round)
 		return buf, nil
 	case heartbeat.Message:
-		buf := []byte{kindHeartbeat}
+		buf := append(dst, kindHeartbeat)
 		buf = binary.AppendUvarint(buf, uint64(m.From))
 		buf = binary.AppendUvarint(buf, m.Seq)
 		return buf, nil
 	case phiaccrual.Message:
-		buf := []byte{kindPhi}
+		buf := append(dst, kindPhi)
 		buf = binary.AppendUvarint(buf, uint64(m.From))
 		buf = binary.AppendUvarint(buf, m.Seq)
 		return buf, nil
 	case chen.Message:
-		buf := []byte{kindChen}
+		buf := append(dst, kindChen)
 		buf = binary.AppendUvarint(buf, uint64(m.From))
 		buf = binary.AppendUvarint(buf, m.Seq)
 		return buf, nil
 	case heartbeat.VectorMessage:
-		buf := []byte{kindVector}
+		buf := append(dst, kindVector)
 		buf = binary.AppendUvarint(buf, uint64(m.From))
 		buf = binary.AppendUvarint(buf, uint64(len(m.Vector)))
 		for _, v := range m.Vector {
@@ -77,7 +85,7 @@ func Encode(payload any) ([]byte, error) {
 		}
 		return buf, nil
 	default:
-		return nil, fmt.Errorf("wire: unsupported payload type %T", payload)
+		return dst, fmt.Errorf("wire: unsupported payload type %T", payload)
 	}
 }
 

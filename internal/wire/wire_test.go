@@ -208,3 +208,39 @@ func BenchmarkDecodeQuery(b *testing.B) {
 		}
 	}
 }
+
+// TestAppendEncode pins the append variant to Encode: same bytes, appended
+// in place after the existing prefix, dst untouched on error.
+func TestAppendEncode(t *testing.T) {
+	payloads := []any{
+		core.Query{From: 3, Round: 9, Suspected: []tagset.Entry{{ID: 1, Tag: 4}}},
+		core.Response{From: 2, Round: 9},
+		heartbeat.Message{From: 5, Seq: 77},
+		heartbeat.VectorMessage{From: 1, Vector: []uint64{9, 0, 300}},
+	}
+	for _, p := range payloads {
+		want, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []byte{0xAA, 0xBB, 0xCC}
+		got, err := AppendEncode(append([]byte(nil), prefix...), p)
+		if err != nil {
+			t.Fatalf("AppendEncode(%+v): %v", p, err)
+		}
+		if !reflect.DeepEqual(got[:3], prefix) {
+			t.Errorf("%T: prefix clobbered: %x", p, got[:3])
+		}
+		if !reflect.DeepEqual(got[3:], want) {
+			t.Errorf("%T: AppendEncode = %x, Encode = %x", p, got[3:], want)
+		}
+	}
+	dst := []byte{1, 2}
+	out, err := AppendEncode(dst, "unsupported")
+	if err == nil {
+		t.Fatal("unsupported payload accepted")
+	}
+	if !reflect.DeepEqual(out, dst) {
+		t.Errorf("dst changed on error: %x", out)
+	}
+}
